@@ -1,0 +1,73 @@
+// Command joinbench regenerates the paper's tables and figures as measured
+// experiments on the simulated external-memory machine. Without flags it
+// runs the full registry (E1-E18, see DESIGN.md for the mapping to paper
+// artifacts); -exp selects a single experiment.
+//
+// Usage:
+//
+//	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acyclicjoin/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run a single experiment (e.g. E4); empty runs all")
+		m      = flag.Int("m", 256, "memory size M in tuples")
+		b      = flag.Int("b", 16, "block size B in tuples")
+		scale  = flag.Int("scale", 1, "input size multiplier")
+		seed   = flag.Int64("seed", 42, "random seed for generated workloads")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		verify = flag.Int("verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return
+	}
+
+	p := harness.Params{M: *m, B: *b, Scale: *scale, Seed: *seed}
+
+	if *verify > 0 {
+		tab, err := harness.VerifySweep(p, *verify)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verification FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		return
+	}
+	run := func(e *harness.Experiment) {
+		fmt.Printf("\n[%s] %s\n(paper artifact: %s)\n\n", e.ID, e.Title, e.Artifact)
+		tab, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+	}
+
+	if *exp != "" {
+		e := harness.Get(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	fmt.Printf("machine: M=%d tuples, B=%d tuples/block, scale=%d, seed=%d\n",
+		p.M, p.B, p.Scale, p.Seed)
+	for _, e := range harness.All() {
+		run(e)
+	}
+}

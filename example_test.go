@@ -1,0 +1,96 @@
+package acyclicjoin_test
+
+import (
+	"fmt"
+	"sort"
+
+	"acyclicjoin"
+)
+
+// A star-schema join: one fact table with three dimensions. The query is a
+// star join (Section 5 of the paper), for which Algorithm 2 is worst-case
+// optimal.
+func ExampleQuery_IsStar() {
+	q, err := acyclicjoin.NewQuery().
+		Relation("Sales", "cust", "prod", "store").
+		Relation("Customers", "cust", "segment").
+		Relation("Products", "prod", "category").
+		Relation("Stores", "store", "city").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("star:", q.IsStar())
+	fmt.Println("line:", q.IsLine())
+	// Output:
+	// star: true
+	// line: false
+}
+
+// Explain reports the paper's cost analysis for hypothetical relation
+// sizes without running the join.
+func ExampleExplain() {
+	q, _ := acyclicjoin.NewQuery().
+		Relation("R1", "a", "b").
+		Relation("R2", "b", "c").
+		Relation("R3", "c", "d").
+		Build()
+	ex, err := acyclicjoin.Explain(q, map[string]float64{
+		"R1": 1 << 20, "R2": 1 << 24, "R3": 1 << 20,
+	}, acyclicjoin.Options{Memory: 1 << 14, Block: 1 << 8})
+	if err != nil {
+		panic(err)
+	}
+	// The middle relation is not in the optimal cover (x=0).
+	fmt.Printf("cover(R2) = %.0f\n", ex.FractionalCover["R2"])
+	fmt.Printf("AGM = 2^%.0f\n", ex.AGMLog2)
+	fmt.Printf("bound = 2^%.0f\n", ex.BoundLog2)
+	// Output:
+	// cover(R2) = 0
+	// AGM = 2^40
+	// bound = 2^18
+}
+
+// Counting without materializing rows: pass a nil emit to Run, or use Count.
+func ExampleCount() {
+	q, _ := acyclicjoin.NewQuery().
+		Relation("Edges", "u", "v").
+		Relation("Edges2", "v", "w").
+		Build()
+	in := q.NewInstance()
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {2, 4}, {3, 4}} {
+		in.MustAdd("Edges", e[0], e[1])
+		in.MustAdd("Edges2", e[0], e[1])
+	}
+	res, err := acyclicjoin.Count(q, in, acyclicjoin.Options{Memory: 64, Block: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2-paths:", res.Count)
+	// Output:
+	// 2-paths: 3
+}
+
+// Strings and integers mix freely; strings are dictionary-encoded.
+func ExampleInstance_Add() {
+	q, _ := acyclicjoin.NewQuery().
+		Relation("Users", "name", "team").
+		Relation("Teams", "team", "floor").
+		Build()
+	in := q.NewInstance()
+	in.MustAdd("Users", "ada", "infra")
+	in.MustAdd("Users", "lin", "db")
+	in.MustAdd("Teams", "infra", 3)
+	in.MustAdd("Teams", "db", 4)
+	var lines []string
+	acyclicjoin.Run(q, in, acyclicjoin.Options{Memory: 16, Block: 4}, func(r acyclicjoin.Row) {
+		lines = append(lines, fmt.Sprintf("%v sits on floor %v", r["name"], r["floor"]))
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// ada sits on floor 3
+	// lin sits on floor 4
+}

@@ -1,0 +1,54 @@
+// Quickstart: define a 3-relation line join, load a few tuples, run it on
+// the simulated external-memory machine, and inspect the I/O statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acyclicjoin"
+)
+
+func main() {
+	// Who follows whom, and where accounts are registered:
+	//   Follows(src, dst) ⋈ Accounts(dst, region) ⋈ Regions(region, tz)
+	q, err := acyclicjoin.NewQuery().
+		Relation("Follows", "src", "dst").
+		Relation("Accounts", "dst", "region").
+		Relation("Regions", "region", "tz").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inst := q.NewInstance()
+	inst.MustAdd("Follows", "ann", "bob")
+	inst.MustAdd("Follows", "ann", "cat")
+	inst.MustAdd("Follows", "dan", "bob")
+	inst.MustAdd("Accounts", "bob", "eu-west")
+	inst.MustAdd("Accounts", "cat", "ap-east")
+	inst.MustAdd("Regions", "eu-west", "UTC+1")
+	inst.MustAdd("Regions", "ap-east", "UTC+8")
+
+	opts := acyclicjoin.Options{Memory: 64, Block: 8}
+	res, err := acyclicjoin.Run(q, inst, opts, func(row acyclicjoin.Row) {
+		fmt.Printf("%v follows %v (%v, %v)\n",
+			row["src"], row["dst"], row["region"], row["tz"])
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d results; plan: %s\n", res.Count, res.Plan)
+	fmt.Printf("I/O: %d reads + %d writes = %d block transfers (M=%d, B=%d)\n",
+		res.Stats.Reads, res.Stats.Writes, res.Stats.IOs, opts.Memory, opts.Block)
+
+	// Explain the query's cost structure for hypothetical sizes.
+	ex, err := acyclicjoin.Explain(q, map[string]float64{
+		"Follows": 1 << 20, "Accounts": 1 << 16, "Regions": 1 << 8,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncost analysis at 1M/64K/256 tuples:\n%s", ex)
+}

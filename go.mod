@@ -1,0 +1,3 @@
+module acyclicjoin
+
+go 1.22

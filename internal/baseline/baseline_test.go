@@ -1,0 +1,339 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"acyclicjoin/internal/count"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+func disk(m, b int) *extmem.Disk { return extmem.NewDisk(extmem.Config{M: m, B: b}) }
+
+func gather(fn func(Emit) error) ([]string, error) {
+	var out []string
+	err := fn(func(a tuple.Assignment) { out = append(out, a.String()) })
+	sort.Strings(out)
+	return out, err
+}
+
+func oracleStrings(t *testing.T, g *hypergraph.Graph, in relation.Instance) []string {
+	t.Helper()
+	var want []string
+	if err := count.Enumerate(g, in, func(a tuple.Assignment) { want = append(want, a.String()) }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+	return want
+}
+
+func eq(t *testing.T, got, want []string, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: %s vs %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+func randomPairs(rng *rand.Rand, n, dom int) []tuple.Tuple {
+	if max := dom * dom; n > max {
+		n = max
+	}
+	seen := map[[2]int64]bool{}
+	var out []tuple.Tuple
+	for len(out) < n {
+		p := [2]int64{int64(rng.Intn(dom)), int64(rng.Intn(dom))}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, tuple.Tuple{p[0], p[1]})
+		}
+	}
+	return out
+}
+
+func TestNestedLoop2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := disk(8, 2)
+	g := hypergraph.Line(2)
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, randomPairs(rng, 30, 6)),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, randomPairs(rng, 30, 6)),
+	}
+	got, err := gather(func(e Emit) error { return NestedLoop2(in[0], in[1], 1, 3, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, got, oracleStrings(t, g, in), "NLJ2")
+}
+
+func TestNestedLoop2IOCost(t *testing.T) {
+	// Cost must be ~ (N1/M)*(N2/B): with N1=64, M=8, N2=64, B=4 that is
+	// 8 * 16 = 128 reads for the inner relation plus 32 for the outer.
+	d := disk(8, 4)
+	var r1, r2 []tuple.Tuple
+	for i := 0; i < 64; i++ {
+		r1 = append(r1, tuple.Tuple{int64(i), int64(i % 4)})
+		r2 = append(r2, tuple.Tuple{int64(i % 4), int64(i)})
+	}
+	a := relation.FromTuples(d, tuple.Schema{0, 1}, r1)
+	b := relation.FromTuples(d, tuple.Schema{1, 2}, r2)
+	d.ResetStats()
+	if err := NestedLoop2(a, b, 1, 3, func(tuple.Assignment) {}); err != nil {
+		t.Fatal(err)
+	}
+	ios := d.Stats().IOs()
+	if ios < 128 || ios > 200 {
+		t.Fatalf("NLJ2 IOs = %d, want ~144", ios)
+	}
+}
+
+func TestNaiveMultiwayNLJ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := disk(8, 2)
+	g := hypergraph.Line(3)
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, randomPairs(rng, 20, 4)),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, randomPairs(rng, 20, 4)),
+		2: relation.FromTuples(d, tuple.Schema{2, 3}, randomPairs(rng, 20, 4)),
+	}
+	got, err := gather(func(e Emit) error { return NaiveMultiwayNLJ(g, in, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, got, oracleStrings(t, g, in), "naive multiway")
+}
+
+func TestYannakakisExternal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		d := disk(8, 2)
+		n := 2 + rng.Intn(3)
+		g := hypergraph.Line(n)
+		in := relation.Instance{}
+		for i := 0; i < n; i++ {
+			in[i] = relation.FromTuples(d, tuple.Schema{i, i + 1}, randomPairs(rng, 10+rng.Intn(25), 5))
+		}
+		var matSize int64
+		got, err := gather(func(e Emit) error {
+			var err error
+			matSize, err = YannakakisExternal(g, in, e)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleStrings(t, g, in)
+		eq(t, got, want, fmt.Sprintf("yannakakis L%d", n))
+		if matSize != int64(len(want)) {
+			t.Fatalf("materialized %d, results %d", matSize, len(want))
+		}
+	}
+}
+
+func TestYannakakisExternalStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := disk(8, 2)
+	g := hypergraph.StarQuery(3)
+	in := relation.Instance{}
+	var core []tuple.Tuple
+	seen := map[string]bool{}
+	for len(core) < 12 {
+		tup := tuple.Tuple{int64(rng.Intn(3)), int64(rng.Intn(3)), int64(rng.Intn(3))}
+		k := fmt.Sprint(tup)
+		if !seen[k] {
+			seen[k] = true
+			core = append(core, tup)
+		}
+	}
+	in[0] = relation.FromTuples(d, tuple.Schema{0, 1, 2}, core)
+	for p := 0; p < 3; p++ {
+		in[p+1] = relation.FromTuples(d, tuple.Schema{p, 3 + p}, randomPairs(rng, 10, 3))
+	}
+	got, err := gather(func(e Emit) error {
+		_, err := YannakakisExternal(g, in, e)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, got, oracleStrings(t, g, in), "yannakakis star")
+}
+
+func triangleInstance(d *extmem.Disk, rng *rand.Rand, n, dom int) relation.Instance {
+	return relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, randomPairs(rng, n, dom)),
+		1: relation.FromTuples(d, tuple.Schema{0, 2}, randomPairs(rng, n, dom)),
+		2: relation.FromTuples(d, tuple.Schema{1, 2}, randomPairs(rng, n, dom)),
+	}
+}
+
+func triangleGraph() *hypergraph.Graph {
+	return hypergraph.MustNew([]*hypergraph.Edge{
+		{ID: 0, Name: "R12", Attrs: []int{0, 1}},
+		{ID: 1, Name: "R13", Attrs: []int{0, 2}},
+		{ID: 2, Name: "R23", Attrs: []int{1, 2}},
+	})
+}
+
+func TestTriangleMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		d := disk(8, 2)
+		in := triangleInstance(d, rng, 20+rng.Intn(40), 8)
+		g := triangleGraph()
+		want := oracleStrings(t, g, in)
+		got, err := gather(func(e Emit) error {
+			return Triangle(in[0], in[1], in[2], 0, 1, 2, int64(trial), 3, e)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq(t, got, want, "triangle grid")
+		gotNaive, err := gather(func(e Emit) error {
+			return TriangleNaive(in[0], in[1], in[2], 0, 1, 2, 3, e)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq(t, gotNaive, want, "triangle naive")
+	}
+}
+
+func TestTriangleEmpty(t *testing.T) {
+	d := disk(8, 2)
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, nil),
+		1: relation.FromTuples(d, tuple.Schema{0, 2}, nil),
+		2: relation.FromTuples(d, tuple.Schema{1, 2}, nil),
+	}
+	got, err := gather(func(e Emit) error {
+		return Triangle(in[0], in[1], in[2], 0, 1, 2, 0, 3, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("results = %d", len(got))
+	}
+}
+
+func TestLoomisWhitney4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := LoomisWhitneyQuery(4)
+	if !g.Edges()[0].Has(1) || g.Edges()[0].Has(0) {
+		t.Fatal("LW query malformed")
+	}
+	for trial := 0; trial < 5; trial++ {
+		d := disk(8, 2)
+		in := relation.Instance{}
+		for i := 0; i < 4; i++ {
+			var rows []tuple.Tuple
+			seen := map[string]bool{}
+			for len(rows) < 25 {
+				tp := tuple.Tuple{int64(rng.Intn(4)), int64(rng.Intn(4)), int64(rng.Intn(4))}
+				k := fmt.Sprint(tp)
+				if !seen[k] {
+					seen[k] = true
+					rows = append(rows, tp)
+				}
+			}
+			schema := tuple.Schema{}
+			for a := 0; a < 4; a++ {
+				if a != i {
+					schema = append(schema, a)
+				}
+			}
+			in[i] = relation.FromTuples(d, schema, rows)
+		}
+		want := oracleStrings(t, g, in)
+		got, err := gather(func(e Emit) error { return LoomisWhitney(4, in, int64(trial), e) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq(t, got, want, "LW4")
+	}
+}
+
+func TestGenericJoinOracleAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		d := disk(8, 2)
+		// Cyclic (triangle) and acyclic (line) shapes.
+		var g *hypergraph.Graph
+		var in relation.Instance
+		if trial%2 == 0 {
+			g = triangleGraph()
+			in = triangleInstance(d, rng, 15+rng.Intn(30), 6)
+		} else {
+			g = hypergraph.Line(3)
+			in = relation.Instance{
+				0: relation.FromTuples(d, tuple.Schema{0, 1}, randomPairs(rng, 20, 5)),
+				1: relation.FromTuples(d, tuple.Schema{1, 2}, randomPairs(rng, 20, 5)),
+				2: relation.FromTuples(d, tuple.Schema{2, 3}, randomPairs(rng, 20, 5)),
+			}
+		}
+		want := oracleStrings(t, g, in)
+		var ops int64
+		got, err := gather(func(e Emit) error {
+			var err error
+			ops, err = GenericJoin(g, in, e)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq(t, got, want, "generic join")
+		if ops <= 0 && len(want) > 0 {
+			t.Fatal("ops not counted")
+		}
+	}
+}
+
+func TestGenericJoinChargesNoIO(t *testing.T) {
+	d := disk(8, 2)
+	g := hypergraph.Line(2)
+	rng := rand.New(rand.NewSource(8))
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, randomPairs(rng, 20, 5)),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, randomPairs(rng, 20, 5)),
+	}
+	d.ResetStats()
+	if _, err := GenericJoin(g, in, func(tuple.Assignment) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().IOs(); got != 0 {
+		t.Fatalf("internal-memory join charged %d IOs", got)
+	}
+}
+
+func TestCrossProductMaterialize(t *testing.T) {
+	d := disk(8, 2)
+	a := relation.FromTuples(d, tuple.Schema{0}, []tuple.Tuple{{1}, {2}})
+	b := relation.FromTuples(d, tuple.Schema{1}, []tuple.Tuple{{7}, {8}, {9}})
+	x, err := CrossProductMaterialize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 6 {
+		t.Fatalf("len = %d, want 6", x.Len())
+	}
+}
+
+func TestEdgeByID(t *testing.T) {
+	g := hypergraph.Line(2)
+	if _, err := edgeByID(g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edgeByID(g, 99); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"sort"
+
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// GenericJoin is an internal-memory worst-case optimal join in the NPRR /
+// Generic-Join mould [9,13]: attributes are eliminated one at a time; at
+// each attribute the candidate values are the intersection of the distinct
+// values of the relations containing it (iterating the smallest list), and
+// each candidate filters those relations before recursing. Its running time
+// is O~(AGM(Q)) — the internal-memory column of Table 1 — measured here in
+// elementary operations (tuples touched), which the function returns. It
+// runs entirely in memory (I/O charging suspended) and works on cyclic
+// queries too, serving as the repository's second correctness oracle.
+func GenericJoin(g *hypergraph.Graph, in relation.Instance, emit Emit) (int64, error) {
+	var restore func()
+	for _, e := range g.Edges() {
+		restore = in[e.ID].Disk().Suspend()
+		break
+	}
+	if restore != nil {
+		defer restore()
+	}
+	edges := g.Edges()
+	n := len(edges)
+	if n == 0 {
+		emit(tuple.NewAssignment(0))
+		return 0, nil
+	}
+	var ops int64
+	// Load and dedup each relation's projection onto its edge attributes.
+	lists := make([][]tuple.Tuple, n)
+	schemas := make([]tuple.Schema, n)
+	for i, e := range edges {
+		r := in[e.ID]
+		cols := make([]int, len(e.Attrs))
+		for j, a := range e.Attrs {
+			cols[j] = r.Col(a)
+		}
+		seen := map[string]bool{}
+		r.Scan(func(t tuple.Tuple) {
+			ops++
+			p := make(tuple.Tuple, len(cols))
+			for j, c := range cols {
+				p[j] = t[c]
+			}
+			k := keyString(p)
+			if !seen[k] {
+				seen[k] = true
+				lists[i] = append(lists[i], p)
+			}
+		})
+		schemas[i] = append(tuple.Schema{}, e.Attrs...)
+	}
+	attrs := g.Attrs()
+	asg := tuple.NewAssignment(g.MaxAttr() + 1)
+
+	var rec func(depth int, lists [][]tuple.Tuple)
+	rec = func(depth int, lists [][]tuple.Tuple) {
+		if depth == len(attrs) {
+			for _, l := range lists {
+				if len(l) == 0 {
+					return
+				}
+			}
+			emit(asg)
+			return
+		}
+		v := attrs[depth]
+		// Relations containing v, smallest current list first.
+		var holders []int
+		for i, s := range schemas {
+			if s.Contains(v) {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) == 0 {
+			rec(depth+1, lists)
+			return
+		}
+		sort.Slice(holders, func(a, b int) bool {
+			return len(lists[holders[a]]) < len(lists[holders[b]])
+		})
+		// Value sets of each holder.
+		valSets := make([]map[int64][]tuple.Tuple, len(holders))
+		for hi, i := range holders {
+			c := schemas[i].IndexOf(v)
+			m := map[int64][]tuple.Tuple{}
+			for _, t := range lists[i] {
+				ops++
+				m[t[c]] = append(m[t[c]], t)
+			}
+			valSets[hi] = m
+		}
+		// Iterate candidates from the smallest holder, intersecting.
+	cand:
+		for val, first := range valSets[0] {
+			sub := make([][]tuple.Tuple, len(lists))
+			copy(sub, lists)
+			sub[holders[0]] = first
+			for hi := 1; hi < len(holders); hi++ {
+				ts, ok := valSets[hi][val]
+				if !ok {
+					continue cand
+				}
+				sub[holders[hi]] = ts
+			}
+			ops++
+			asg.Set(v, val)
+			rec(depth+1, sub)
+			asg[v] = tuple.Unset
+		}
+	}
+	rec(0, lists)
+	return ops, nil
+}
+
+func keyString(t tuple.Tuple) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}

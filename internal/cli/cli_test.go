@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRelationSpec(t *testing.T) {
+	s, err := ParseRelationSpec("R1:a,b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "R1" || len(s.Attrs) != 2 || s.Attrs[1] != "b" || s.File != "" {
+		t.Fatalf("spec = %+v", s)
+	}
+	s, err = ParseRelationSpec("Follows:src, dst=data/follows.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.File != "data/follows.csv" || s.Attrs[1] != "dst" {
+		t.Fatalf("spec = %+v", s)
+	}
+	for _, bad := range []string{"", "noattrs", ":a,b", "R:", "R:,,"} {
+		if _, err := ParseRelationSpec(bad); err == nil {
+			t.Errorf("ParseRelationSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSizeArg(t *testing.T) {
+	name, v, ok, err := ParseSizeArg("R1=1000")
+	if err != nil || !ok || name != "R1" || v != 1000 {
+		t.Fatalf("got %q %v %v %v", name, v, ok, err)
+	}
+	if _, _, ok, _ := ParseSizeArg("R1:a,b"); ok {
+		t.Fatal("relation spec treated as size")
+	}
+	if _, _, _, err := ParseSizeArg("R1=abc"); err == nil {
+		t.Fatal("bad number accepted")
+	}
+	if _, _, ok, _ := ParseSizeArg("=5"); ok {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestBuildQuery(t *testing.T) {
+	g, sizes, err := BuildQuery([]string{"R1:a,b", "R2:b,c", "R1=100", "R2=200"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if sizes[0] != 100 || sizes[1] != 200 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Shared attribute interned identically.
+	if a := g.Edge(0).Attrs[1]; !g.Edge(1).Has(a) {
+		t.Fatal("shared attribute not interned")
+	}
+	// Default sizes.
+	_, sizes, err = BuildQuery([]string{"R1:a,b"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != 7 {
+		t.Fatalf("default size = %v", sizes[0])
+	}
+	if _, _, err := BuildQuery(nil, 1); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if _, _, err := BuildQuery([]string{"R=xy"}, 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	data := "src,dst\nann,1\nbob,2\n"
+	var rows [][]Value
+	err := ReadCSV(strings.NewReader(data), 2, true, func(vals []Value) error {
+		rows = append(rows, vals)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "ann" || rows[0][1] != int64(1) {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	// Without header: 3 rows, first is strings.
+	rows = nil
+	if err := ReadCSV(strings.NewReader(data), 2, false, func(vals []Value) error {
+		rows = append(rows, vals)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "src" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Arity mismatch is an error.
+	if err := ReadCSV(strings.NewReader("a,b,c\n"), 2, false, func([]Value) error { return nil }); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRelationSpec: never panics; on success the parsed fields
+// reassemble into an equivalent spec.
+func FuzzParseRelationSpec(f *testing.F) {
+	f.Add("R1:a,b")
+	f.Add("Follows:src,dst=f.csv")
+	f.Add(":::===")
+	f.Add("x:y=")
+	f.Fuzz(func(t *testing.T, arg string) {
+		spec, err := ParseRelationSpec(arg)
+		if err != nil {
+			return
+		}
+		if spec.Name == "" || len(spec.Attrs) == 0 {
+			t.Fatalf("accepted degenerate spec %q -> %+v", arg, spec)
+		}
+		for _, a := range spec.Attrs {
+			if a == "" {
+				t.Fatalf("empty attribute from %q", arg)
+			}
+		}
+		// Round trip: re-parse the canonical form.
+		canon := spec.Name + ":" + strings.Join(spec.Attrs, ",")
+		if spec.File != "" {
+			canon += "=" + spec.File
+		}
+		spec2, err := ParseRelationSpec(canon)
+		if err != nil {
+			// Canonical form can still be rejected if a field contains the
+			// delimiter characters; that is acceptable, not a crash.
+			return
+		}
+		if spec2.Name != spec.Name || len(spec2.Attrs) != len(spec.Attrs) {
+			t.Fatalf("round trip changed %q: %+v vs %+v", arg, spec, spec2)
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary input never panics and either errors or yields
+// rows of the requested arity.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n", 2)
+	f.Add("x\n", 1)
+	f.Add("\"unterminated", 1)
+	f.Fuzz(func(t *testing.T, data string, arity int) {
+		if arity < 1 || arity > 6 {
+			t.Skip()
+		}
+		_ = ReadCSV(strings.NewReader(data), arity, false, func(vals []Value) error {
+			if len(vals) != arity {
+				t.Fatalf("row arity %d, want %d", len(vals), arity)
+			}
+			return nil
+		})
+	})
+}

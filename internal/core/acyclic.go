@@ -1,0 +1,537 @@
+// Package core implements the paper's primary contribution: Algorithm 2
+// (AcyclicJoin), the worst-case I/O-optimal join algorithm for Berge-acyclic
+// queries, together with the special-case algorithms of Sections 3 and 6
+// (Algorithm 1 for 3-relation line joins, Algorithm 4 for unbalanced
+// 5-relation line joins, Algorithm 5 for unbalanced 7-relation line joins)
+// and the dispatcher that composes them for L6 and L8.
+//
+// Algorithm 2 recursively peels the query: buds are dropped (after a
+// safety semijoin when the instance is not known to be fully reduced),
+// islands are cross-producted chunk by chunk, and leaves are peeled with
+// the heavy/light value split of Section 2.3 — heavy values restrict the
+// neighbours to zero-copy views and remove the join attribute (possibly
+// disconnecting the query), light values are loaded in ≤2M-tuple chunks of
+// whole value groups while the join attribute stays in the query. Join
+// results are delivered through an emit callback and never written to disk
+// (the emit model).
+//
+// The paper resolves the choice of which leaf to peel nondeterministically
+// and simulates all branches round-robin. Here a branch is a *policy*: a
+// function from subquery structure to peeled leaf, mirroring GenS(Q), whose
+// choices only depend on the hypergraph. StrategyExhaustive enumerates all
+// policies, dry-runs each (emission suppressed), and re-runs the cheapest
+// with emission: total cost = Σ branches + best = O(best) for constant
+// query size, exactly the guarantee of the paper's round-robin simulation,
+// while emitting each result exactly once.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// Emit receives one join result as an assignment over the query's
+// attributes. The assignment is reused between calls; copy it to retain it.
+type Emit func(tuple.Assignment)
+
+// Strategy selects how the nondeterministic leaf choice is resolved.
+type Strategy int
+
+const (
+	// StrategyExhaustive enumerates all structure-driven policies, dry-runs
+	// each, and re-runs the cheapest with emission: the paper's round-robin
+	// guarantee with exactly-once emission. This is the zero value, so an
+	// unconfigured Options runs the paper's algorithm.
+	StrategyExhaustive Strategy = iota
+	// StrategyFirst peels the first leaf in edge order. Deterministic and
+	// cheap, but may follow an arbitrarily bad branch.
+	StrategyFirst
+	// StrategySmallest peels the leaf with the smallest relation, a greedy
+	// heuristic.
+	StrategySmallest
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFirst:
+		return "first"
+	case StrategySmallest:
+		return "smallest"
+	case StrategyExhaustive:
+		return "exhaustive"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures Run.
+type Options struct {
+	Strategy Strategy
+	// AssumeReduced records that the TOP-LEVEL instance is fully reduced,
+	// allowing bud relations of the input query to be dropped without a
+	// defensive semijoin. It never applies inside the recursion: heavy-value
+	// restriction produces sub-instances that are no longer reduced, where
+	// a bud's neighbours must be filtered for correctness.
+	AssumeReduced bool
+	// DisableHeavySplit is an ablation switch: leaf peeling skips the
+	// Section 2.3 heavy/light split and processes every value light-style
+	// in plain M-tuple chunks (value groups may straddle chunks; the
+	// neighbours are re-semijoined per chunk). Correct, but on skewed data
+	// it loses the factor the heavy-value restriction views save.
+	DisableHeavySplit bool
+}
+
+// Result reports the outcome of a Run.
+type Result struct {
+	// Emitted counts join results delivered to emit.
+	Emitted int64
+	// ExecStats is the I/O cost of the emitting run (the winning branch
+	// under StrategyExhaustive; the only run otherwise).
+	ExecStats extmem.Stats
+	// TotalStats additionally includes every dry-run branch (the paper's
+	// round-robin simulation cost; a constant factor above ExecStats).
+	TotalStats extmem.Stats
+	// Branches is the number of policies tried (1 unless exhaustive).
+	Branches int
+	// Policy records, per subquery structure key, which leaf index the
+	// winning branch peeled. Diagnostic.
+	Policy map[string]int
+}
+
+// Run evaluates the Berge-acyclic join (g, in), invoking emit per result.
+func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*Result, error) {
+	if !g.IsBergeAcyclic() {
+		return nil, fmt.Errorf("core: query %v is not Berge-acyclic", g)
+	}
+	if err := in.Validate(g, false); err != nil {
+		return nil, err
+	}
+	disk := anyDisk(g, in)
+	res := &Result{Policy: map[string]int{}}
+
+	if opts.Strategy != StrategyExhaustive {
+		ex := &executor{
+			emit:    emit,
+			opts:    opts,
+			nAttrs:  g.MaxAttr() + 1,
+			chooser: staticChooser(opts.Strategy),
+		}
+		before := disk.Stats()
+		if err := ex.run(g, in); err != nil {
+			return nil, err
+		}
+		res.Emitted = ex.emitted
+		res.ExecStats = disk.Stats().Sub(before)
+		res.TotalStats = res.ExecStats
+		res.Branches = 1
+		return res, nil
+	}
+
+	// Exhaustive: odometer over structure-keyed decision points.
+	type branchOutcome struct {
+		cost   int64
+		policy map[string]int
+	}
+	var best *branchOutcome
+	odo := newOdometer()
+	grand := extmem.Stats{}
+	for {
+		ex := &executor{
+			emit:    func(tuple.Assignment) {},
+			opts:    opts,
+			nAttrs:  g.MaxAttr() + 1,
+			chooser: odo.choose,
+		}
+		before := disk.Stats()
+		if err := ex.run(g, in); err != nil {
+			return nil, err
+		}
+		delta := disk.Stats().Sub(before)
+		grand = grand.Add(delta)
+		res.Branches++
+		if best == nil || delta.IOs() < best.cost {
+			best = &branchOutcome{cost: delta.IOs(), policy: odo.snapshot()}
+		}
+		if !odo.advance() {
+			break
+		}
+		if res.Branches >= maxBranches {
+			break
+		}
+	}
+	// Re-run the winning branch with emission.
+	fixed := best.policy
+	ex := &executor{
+		emit:   emit,
+		opts:   opts,
+		nAttrs: g.MaxAttr() + 1,
+		chooser: func(key string, leaves []*hypergraph.Edge, in relation.Instance) int {
+			if d, ok := fixed[key]; ok && d < len(leaves) {
+				return d
+			}
+			return 0
+		},
+	}
+	before := disk.Stats()
+	if err := ex.run(g, in); err != nil {
+		return nil, err
+	}
+	res.ExecStats = disk.Stats().Sub(before)
+	res.TotalStats = grand.Add(res.ExecStats)
+	res.Emitted = ex.emitted
+	res.Policy = fixed
+	return res, nil
+}
+
+// maxBranches caps policy enumeration; a backstop far above what constant-
+// size queries produce in practice.
+const maxBranches = 4096
+
+func anyDisk(g *hypergraph.Graph, in relation.Instance) *extmem.Disk {
+	for _, e := range g.Edges() {
+		return in[e.ID].Disk()
+	}
+	return nil
+}
+
+// chooser resolves the nondeterministic leaf choice: given the structure key
+// of the current subquery and its peelable leaves, return the index to peel.
+type chooser func(key string, leaves []*hypergraph.Edge, in relation.Instance) int
+
+func staticChooser(s Strategy) chooser {
+	return func(_ string, leaves []*hypergraph.Edge, in relation.Instance) int {
+		if s != StrategySmallest {
+			return 0
+		}
+		best, arg := -1, 0
+		for i, e := range leaves {
+			if n := in[e.ID].Len(); best < 0 || n < best {
+				best, arg = n, i
+			}
+		}
+		return arg
+	}
+}
+
+// odometer enumerates policies: decision points are discovered during a run
+// (keyed by subquery structure) and advanced like a mixed-radix counter.
+type odometer struct {
+	decisions map[string]int
+	radix     map[string]int
+	order     []string
+}
+
+func newOdometer() *odometer {
+	return &odometer{decisions: map[string]int{}, radix: map[string]int{}}
+}
+
+func (o *odometer) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
+	if d, ok := o.decisions[key]; ok {
+		if d >= len(leaves) {
+			// Same structure reappearing with fewer options cannot happen
+			// (options are structural), but stay safe.
+			return 0
+		}
+		return d
+	}
+	o.decisions[key] = 0
+	o.radix[key] = len(leaves)
+	o.order = append(o.order, key)
+	return 0
+}
+
+// advance bumps to the next policy; false when exhausted.
+func (o *odometer) advance() bool {
+	for i := len(o.order) - 1; i >= 0; i-- {
+		k := o.order[i]
+		if o.decisions[k]+1 < o.radix[k] {
+			o.decisions[k]++
+			// Later decision points may not recur; forget them so they are
+			// rediscovered fresh.
+			for _, later := range o.order[i+1:] {
+				delete(o.decisions, later)
+				delete(o.radix, later)
+			}
+			o.order = o.order[:i+1]
+			return true
+		}
+	}
+	return false
+}
+
+func (o *odometer) snapshot() map[string]int {
+	out := make(map[string]int, len(o.decisions))
+	for k, v := range o.decisions {
+		out[k] = v
+	}
+	return out
+}
+
+// structureKey canonically serializes the subquery hypergraph.
+func structureKey(g *hypergraph.Graph) string {
+	es := g.Edges()
+	parts := make([]string, len(es))
+	for i, e := range es {
+		a := make([]string, len(e.Attrs))
+		for j, x := range e.Attrs {
+			a[j] = fmt.Sprint(x)
+		}
+		parts[i] = fmt.Sprintf("%d:%s", e.ID, strings.Join(a, "."))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// executor runs one branch of Algorithm 2.
+type executor struct {
+	emit    Emit
+	opts    Options
+	nAttrs  int
+	chooser chooser
+	emitted int64
+	asg     tuple.Assignment
+}
+
+func (x *executor) run(g *hypergraph.Graph, in relation.Instance) error {
+	x.asg = tuple.NewAssignment(x.nAttrs)
+	return x.join(g, in, 0, func() {
+		x.emitted++
+		x.emit(x.asg)
+	})
+}
+
+// bindTuple binds the unbound attributes of schema to t, calls next, then
+// unbinds exactly what it bound. Attributes already bound must agree (they
+// do by construction: restrictions and semijoins preserve shared values).
+func (x *executor) bindTuple(schema tuple.Schema, t tuple.Tuple, next func()) {
+	bindInto(x.asg, schema, t, next)
+}
+
+// bindInto is the shared bind-call-unbind helper: it binds the unbound
+// attributes of schema to t in asg, invokes next, and restores asg.
+func bindInto(asg tuple.Assignment, schema tuple.Schema, t tuple.Tuple, next func()) {
+	var boundMask uint64
+	if len(schema) > 64 {
+		panic("core: schema wider than 64 attributes")
+	}
+	for i, a := range schema {
+		if !asg.Has(a) {
+			asg.Set(a, t[i])
+			boundMask |= 1 << uint(i)
+		} else if asg.Get(a) != t[i] {
+			panic(fmt.Sprintf("core: inconsistent binding for v%d: %d vs %d", a, asg.Get(a), t[i]))
+		}
+	}
+	next()
+	for i, a := range schema {
+		if boundMask&(1<<uint(i)) != 0 {
+			asg[a] = tuple.Unset
+		}
+	}
+}
+
+// join implements Algorithm 2 (AcyclicJoin). done is invoked once per result
+// of the current subquery, with the shared assignment bound. depth counts
+// recursion levels (0 = the caller's original query).
+func (x *executor) join(g *hypergraph.Graph, in relation.Instance, depth int, done func()) error {
+	edges := g.Edges()
+	switch {
+	case len(edges) == 0:
+		done()
+		return nil
+
+	case len(edges) == 1:
+		// Base case: emit all tuples in R(e).
+		e := edges[0]
+		r := in[e.ID]
+		rd := r.Reader()
+		for t := rd.Next(); t != nil; t = rd.Next() {
+			x.bindTuple(r.Schema(), t, done)
+		}
+		return nil
+	}
+
+	// Bud: a single-attribute relation on a join attribute. Joining with it
+	// is pure filtering; drop it, semijoin-filtering its neighbours unless
+	// the instance is known fully reduced (in which case the filter is a
+	// no-op, paper lines 3-4).
+	for _, e := range edges {
+		if g.KindOf(e) != hypergraph.Bud {
+			continue
+		}
+		v := g.LeafJoinAttr(e)
+		sub := in.Clone()
+		delete(sub, e.ID)
+		// Dropping a bud without filtering is only sound when the current
+		// instance is known fully reduced — which holds at depth 0 when the
+		// caller says so, but never below: restriction views lose the
+		// reduction property.
+		if !(x.opts.AssumeReduced && depth == 0) {
+			budRel, err := in[e.ID].SortDedupBy(v)
+			if err != nil {
+				return err
+			}
+			for _, o := range g.Neighbors(e) {
+				or, err := in[o.ID].SortBy(v)
+				if err != nil {
+					return err
+				}
+				filtered, err := relation.Semijoin(or, budRel, v)
+				if err != nil {
+					return err
+				}
+				sub[o.ID] = filtered
+			}
+		}
+		return x.join(g.Without([]int{e.ID}, nil), sub, depth+1, done)
+	}
+
+	// Island: cross product with the rest, one memory chunk at a time
+	// (paper lines 5-9).
+	for _, e := range edges {
+		if g.KindOf(e) != hypergraph.Island {
+			continue
+		}
+		r := in[e.ID]
+		gRest := g.Without([]int{e.ID}, nil)
+		sub := in.Clone()
+		delete(sub, e.ID)
+		return r.LoadChunks(func(c *relation.Chunk) error {
+			return x.join(gRest, sub, depth+1, func() {
+				for _, t := range c.Tuples {
+					x.bindTuple(r.Schema(), t, done)
+				}
+			})
+		})
+	}
+
+	// Leaf peeling (paper lines 10-27).
+	var leaves []*hypergraph.Edge
+	for _, e := range edges {
+		if g.KindOf(e) == hypergraph.Leaf {
+			leaves = append(leaves, e)
+		}
+	}
+	if len(leaves) == 0 {
+		return fmt.Errorf("core: no island, bud, or leaf in %v (cyclic?)", g)
+	}
+	pick := x.chooser(structureKey(g), leaves, in)
+	e := leaves[pick]
+	v := g.LeafJoinAttr(e)
+	u := g.UniqueAttrs(e)
+	gamma := g.Neighbors(e)
+
+	re, err := in[e.ID].SortBy(v)
+	if err != nil {
+		return err
+	}
+	sorted := in.Clone()
+	for _, o := range gamma {
+		or, err := in[o.ID].SortBy(v)
+		if err != nil {
+			return err
+		}
+		sorted[o.ID] = or
+	}
+
+	if x.opts.DisableHeavySplit {
+		return x.peelLeafUnsplit(g, sorted, e, re, v, u, gamma, depth, done)
+	}
+
+	heavy, light, err := re.Heavy(v)
+	if err != nil {
+		return err
+	}
+
+	// Heavy values: restrict neighbours to v=a (zero-copy views), remove e,
+	// its unique attributes, AND v (all tuples agree on it), possibly
+	// disconnecting the query; then cross the recursion's results with each
+	// memory chunk of R(e)|v=a.
+	gHeavy := g.Without([]int{e.ID}, append(append([]hypergraph.Attr{}, u...), v))
+	for _, hgrp := range heavy {
+		a := hgrp.Value
+		sub := sorted.Clone()
+		delete(sub, e.ID)
+		for _, o := range gamma {
+			sub[o.ID] = sorted[o.ID].FindRange(v, a)
+		}
+		err := hgrp.Rel.LoadChunks(func(c *relation.Chunk) error {
+			return x.join(gHeavy, sub, depth+1, func() {
+				for _, t := range c.Tuples {
+					x.bindTuple(re.Schema(), t, done)
+				}
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Light values: load whole value groups (≤2M tuples, ≤M distinct
+	// values), semijoin each neighbour down to the chunk's values, keep v in
+	// the query (no disconnection), and match recursion results against the
+	// chunk by v-value.
+	gLight := g.Without([]int{e.ID}, u)
+	vCol := re.Col(v)
+	return light.LoadChunksBy(v, func(c *relation.Chunk) error {
+		sub := sorted.Clone()
+		delete(sub, e.ID)
+		for _, o := range gamma {
+			filtered, err := relation.SemijoinValues(sorted[o.ID], v, c.Values)
+			if err != nil {
+				return err
+			}
+			sub[o.ID] = filtered
+		}
+		idx := make(map[int64][]tuple.Tuple, len(c.Values))
+		for _, t := range c.Tuples {
+			idx[t[vCol]] = append(idx[t[vCol]], t)
+		}
+		return x.join(gLight, sub, depth+1, func() {
+			a := x.asg.Get(v)
+			for _, t := range idx[a] {
+				x.bindTuple(re.Schema(), t, done)
+			}
+		})
+	})
+}
+
+// peelLeafUnsplit is the DisableHeavySplit ablation: the whole sorted leaf
+// relation is processed in plain M-tuple chunks regardless of value
+// frequencies. Heavy values then straddle chunks, so their neighbours are
+// re-semijoined (a full scan) once per chunk instead of being restricted to
+// zero-copy views once per value.
+func (x *executor) peelLeafUnsplit(g *hypergraph.Graph, sorted relation.Instance,
+	e *hypergraph.Edge, re *relation.Relation, v hypergraph.Attr,
+	u []hypergraph.Attr, gamma []*hypergraph.Edge, depth int, done func()) error {
+	gLight := g.Without([]int{e.ID}, u)
+	vCol := re.Col(v)
+	return re.LoadChunks(func(c *relation.Chunk) error {
+		vals := make(map[int64]bool, len(c.Tuples))
+		idx := make(map[int64][]tuple.Tuple, len(c.Tuples))
+		for _, t := range c.Tuples {
+			vals[t[vCol]] = true
+			idx[t[vCol]] = append(idx[t[vCol]], t)
+		}
+		sub := sorted.Clone()
+		delete(sub, e.ID)
+		for _, o := range gamma {
+			filtered, err := relation.SemijoinValues(sorted[o.ID], v, vals)
+			if err != nil {
+				return err
+			}
+			sub[o.ID] = filtered
+		}
+		return x.join(gLight, sub, depth+1, func() {
+			a := x.asg.Get(v)
+			for _, t := range idx[a] {
+				x.bindTuple(re.Schema(), t, done)
+			}
+		})
+	})
+}

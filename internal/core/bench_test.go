@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+	"acyclicjoin/internal/workload"
+)
+
+// BenchmarkPairJoinUniform measures the §3 instance-optimal join on uniform
+// data where the merge path dominates.
+func BenchmarkPairJoinUniform(b *testing.B) {
+	d := extmem.NewDisk(extmem.Config{M: 1024, B: 64})
+	rng := rand.New(rand.NewSource(1))
+	mk := func(a0, a1 tuple.Attr) *relation.Relation {
+		r := workload.UniformPairs(d, rng, a0, a1, 4096, 4096, 16384)
+		s, err := r.SortBy(a1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	ra := mk(0, 1)
+	rbRaw := workload.UniformPairs(d, rng, 1, 2, 4096, 4096, 16384)
+	rb, err := rbRaw.SortBy(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ios int64
+	for i := 0; i < b.N; i++ {
+		before := d.Stats()
+		n := 0
+		if err := PairJoin(ra, rb, 1, func(_, _ tuple.Tuple) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		ios = d.Stats().Sub(before).IOs()
+	}
+	b.ReportMetric(float64(ios), "ios/op")
+}
+
+// BenchmarkPairJoinHeavy measures the doubly-heavy blocked-NLJ path.
+func BenchmarkPairJoinHeavy(b *testing.B) {
+	d := extmem.NewDisk(extmem.Config{M: 256, B: 16})
+	n := 4096
+	ra := workload.Mapping(d, 0, 1, n, 1, n, workload.ManyToOne)
+	rb := workload.Mapping(d, 1, 2, 1, n, n, workload.OneToMany)
+	ras, _ := ra.SortBy(1)
+	rbs, _ := rb.SortBy(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ios int64
+	for i := 0; i < b.N; i++ {
+		before := d.Stats()
+		if err := PairJoin(ras, rbs, 1, func(_, _ tuple.Tuple) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		ios = d.Stats().Sub(before).IOs()
+	}
+	b.ReportMetric(float64(ios), "ios/op")
+}
+
+// BenchmarkAcyclicJoinL5 measures Algorithm 2 end to end (greedy branch) on
+// a uniform L5.
+func BenchmarkAcyclicJoinL5(b *testing.B) {
+	d := extmem.NewDisk(extmem.Config{M: 512, B: 32})
+	rng := rand.New(rand.NewSource(3))
+	g, in := workload.LineUniform(d, rng, 5, 4096, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ios int64
+	for i := 0; i < b.N; i++ {
+		before := d.Stats()
+		r, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategySmallest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ios = r.ExecStats.IOs()
+		_ = before
+	}
+	b.ReportMetric(float64(ios), "ios/op")
+}
+
+// BenchmarkExhaustivePlanning isolates the dry-run planning overhead.
+func BenchmarkExhaustivePlanning(b *testing.B) {
+	d := extmem.NewDisk(extmem.Config{M: 512, B: 32})
+	rng := rand.New(rand.NewSource(4))
+	g, in := workload.LineUniform(d, rng, 4, 2048, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Branches), "branches")
+			b.ReportMetric(float64(r.TotalStats.IOs())/float64(r.ExecStats.IOs()), "planning-overhead-x")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package count provides exact cardinalities for the quantities the paper's
+// bounds are stated in: subjoin sizes |⋈_{e∈S} R(e)| (via a join-forest
+// dynamic program with per-tuple counts, no enumeration), partial join sizes
+// |Q(R,S)| (the projection of the full join onto S's attributes, via
+// backtracking enumeration), and the derived lower-bound quantities Ψ(R,S)
+// and ψ(R,S) of Section 1.4.
+//
+// These are analysis and verification tools, not algorithms under
+// measurement: they run with the simulated disk's I/O charging suspended so
+// that computing a bound never pollutes an experiment's counters.
+package count
+
+import (
+	"fmt"
+	"math"
+
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// SubjoinSize returns |⋈_{e∈S} R(e)| for the edges with the given IDs. If S
+// is disconnected, the subjoin is the cross product of its connected
+// components' joins (the paper's convention), so the result is the product
+// of the per-component counts. The subquery must be Berge-acyclic. Counts
+// are returned as float64 to tolerate astronomically large cross products.
+func SubjoinSize(g *hypergraph.Graph, in relation.Instance, s []int) (float64, error) {
+	if len(s) == 0 {
+		return 1, nil
+	}
+	sub := g.Subgraph(s)
+	if sub.NumEdges() != len(s) {
+		return 0, fmt.Errorf("count: unknown edge ID in %v", s)
+	}
+	var restore func()
+	for _, e := range sub.Edges() {
+		restore = in[e.ID].Disk().Suspend()
+		break
+	}
+	if restore != nil {
+		defer restore()
+	}
+	total := 1.0
+	for _, comp := range sub.Components() {
+		ids := make([]int, len(comp))
+		for i, pos := range comp {
+			ids[i] = sub.Edges()[pos].ID
+		}
+		c, err := connectedJoinSize(sub.Subgraph(ids), in)
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+	}
+	return total, nil
+}
+
+// connectedJoinSize computes the join cardinality of a connected acyclic
+// subquery by the standard count DP over a join forest: the weight of a
+// tuple is the product over children of the summed weights of matching
+// child tuples; the answer is the summed weight at the root.
+func connectedJoinSize(g *hypergraph.Graph, in relation.Instance) (float64, error) {
+	parent, order, err := g.JoinForest()
+	if err != nil {
+		return 0, err
+	}
+	edges := g.Edges()
+	// weights[i] maps a tuple (by its projection onto the edge's live
+	// attributes, encoded as a string key) to its DP weight. Tuples are
+	// deduplicated on the edge's attribute set (set semantics).
+	weights := make([]map[string]float64, len(edges))
+	keys := make([][]tuple.Tuple, len(edges)) // attr-projected rows, deduped
+	for i, e := range edges {
+		rows := relation.Contents(in[e.ID])
+		w := map[string]float64{}
+		var uniq []tuple.Tuple
+		cols := make([]int, len(e.Attrs))
+		for j, a := range e.Attrs {
+			cols[j] = in[e.ID].Col(a)
+		}
+		for _, t := range rows {
+			proj := make(tuple.Tuple, len(cols))
+			for j, c := range cols {
+				proj[j] = t[c]
+			}
+			k := keyOf(proj)
+			if _, ok := w[k]; !ok {
+				w[k] = 1
+				uniq = append(uniq, proj)
+			}
+		}
+		weights[i] = w
+		keys[i] = uniq
+	}
+	// Children lists.
+	children := make([][]int, len(edges))
+	for i, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	// Process in reverse preorder: children before parents.
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		u := order[oi]
+		for _, c := range children[u] {
+			a := hypergraph.SharedAttr(edges[u], edges[c])
+			if a < 0 {
+				return 0, fmt.Errorf("count: forest link without shared attribute")
+			}
+			// Sum child weights per shared value.
+			cPos := attrPos(edges[c], a)
+			sums := map[int64]float64{}
+			for _, t := range keys[c] {
+				sums[t[cPos]] += weights[c][keyOf(t)]
+			}
+			uPos := attrPos(edges[u], a)
+			for _, t := range keys[u] {
+				weights[u][keyOf(t)] *= sums[t[uPos]]
+			}
+		}
+	}
+	total := 0.0
+	for i, p := range parent {
+		if p != -1 {
+			continue
+		}
+		s := 0.0
+		for _, t := range keys[i] {
+			s += weights[i][keyOf(t)]
+		}
+		total = s // connected: exactly one root
+	}
+	return total, nil
+}
+
+func attrPos(e *hypergraph.Edge, a hypergraph.Attr) int {
+	for i, x := range e.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("count: attribute v%d not in %s", a, e))
+}
+
+func keyOf(t tuple.Tuple) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}
+
+// Enumerate produces every join result of g on in by in-memory backtracking,
+// calling emit with an assignment over the query's attributes. It is the
+// correctness oracle for the external-memory algorithms and the basis for
+// partial join counting; intended for test-scale instances only. Duplicate
+// tuples in a relation are collapsed (set semantics).
+func Enumerate(g *hypergraph.Graph, in relation.Instance, emit func(tuple.Assignment)) error {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		emit(tuple.NewAssignment(0))
+		return nil
+	}
+	var restore func()
+	for _, e := range edges {
+		restore = in[e.ID].Disk().Suspend()
+		break
+	}
+	if restore != nil {
+		defer restore()
+	}
+	// Order edges so each (after the first of its component) shares an
+	// attribute with an earlier one when possible: connectivity order.
+	order := connectivityOrder(g)
+	rows := make([][]tuple.Tuple, len(order))
+	schemas := make([]tuple.Schema, len(order))
+	for i, pos := range order {
+		e := edges[pos]
+		r := in[e.ID]
+		all := relation.Contents(r)
+		// Project to edge attributes and dedup (set semantics).
+		cols := make([]int, len(e.Attrs))
+		for j, a := range e.Attrs {
+			cols[j] = r.Col(a)
+		}
+		seen := map[string]bool{}
+		for _, t := range all {
+			proj := make(tuple.Tuple, len(cols))
+			for j, c := range cols {
+				proj[j] = t[c]
+			}
+			k := keyOf(proj)
+			if !seen[k] {
+				seen[k] = true
+				rows[i] = append(rows[i], proj)
+			}
+		}
+		schemas[i] = make(tuple.Schema, len(e.Attrs))
+		copy(schemas[i], e.Attrs)
+	}
+	asg := tuple.NewAssignment(g.MaxAttr() + 1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			emit(asg)
+			return
+		}
+		s := schemas[i]
+	next:
+		for _, t := range rows[i] {
+			// Consistency with already-bound attributes.
+			for j, a := range s {
+				if asg.Has(a) && asg.Get(a) != t[j] {
+					continue next
+				}
+			}
+			bound := make([]bool, len(s))
+			for j, a := range s {
+				if !asg.Has(a) {
+					asg.Set(a, t[j])
+					bound[j] = true
+				}
+			}
+			rec(i + 1)
+			for j, a := range s {
+				if bound[j] {
+					asg[a] = tuple.Unset
+				}
+			}
+		}
+	}
+	rec(0)
+	return nil
+}
+
+func connectivityOrder(g *hypergraph.Graph) []int {
+	edges := g.Edges()
+	n := len(edges)
+	used := make([]bool, n)
+	var order []int
+	boundAttrs := map[hypergraph.Attr]bool{}
+	for len(order) < n {
+		pick := -1
+		for i, e := range edges {
+			if used[i] {
+				continue
+			}
+			for _, a := range e.Attrs {
+				if boundAttrs[a] {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			for i := range edges {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for _, a := range edges[pick].Attrs {
+			boundAttrs[a] = true
+		}
+	}
+	return order
+}
+
+// FullJoinSize returns |Q(R)| by enumeration (test scale).
+func FullJoinSize(g *hypergraph.Graph, in relation.Instance) (int64, error) {
+	var n int64
+	err := Enumerate(g, in, func(tuple.Assignment) { n++ })
+	return n, err
+}
+
+// PartialJoinSize returns |Q(R,S)|: the number of distinct projections of
+// full join results onto the attributes of the edges in S (Section 1.4).
+// Computed by enumeration; test scale only.
+func PartialJoinSize(g *hypergraph.Graph, in relation.Instance, s []int) (int64, error) {
+	attrs := map[hypergraph.Attr]bool{}
+	for _, id := range s {
+		e := g.Edge(id)
+		if e == nil {
+			return 0, fmt.Errorf("count: unknown edge ID %d", id)
+		}
+		for _, a := range e.Attrs {
+			attrs[a] = true
+		}
+	}
+	var proj tuple.Schema
+	for a := 0; a <= g.MaxAttr(); a++ {
+		if attrs[a] {
+			proj = append(proj, a)
+		}
+	}
+	seen := map[string]bool{}
+	err := Enumerate(g, in, func(asg tuple.Assignment) {
+		t := asg.Project(proj)
+		seen[keyOf(t)] = true
+	})
+	return int64(len(seen)), err
+}
+
+// Psi returns Ψ(R,S) = Π_{S'∈C(S)} |⋈_{e∈S'} R(e)| / (M^{|S|−1}·B): the
+// scaled subjoin size that lower-bounds the I/O cost of producing the
+// subjoin on S (Theorem 2's per-term bound).
+func Psi(g *hypergraph.Graph, in relation.Instance, s []int, m, b int) (float64, error) {
+	if len(s) == 0 {
+		return 0, nil
+	}
+	size, err := SubjoinSize(g, in, s)
+	if err != nil {
+		return 0, err
+	}
+	return size / (math.Pow(float64(m), float64(len(s)-1)) * float64(b)), nil
+}
+
+// PsiLower returns ψ(R,S) = |Q(R,S)| / (M^{|S|−1}·B): the partial-join form
+// used for lower bounds (each I/O brings B tuples which combine with at most
+// M^{|S|−1} memory-resident combinations).
+func PsiLower(g *hypergraph.Graph, in relation.Instance, s []int, m, b int) (float64, error) {
+	if len(s) == 0 {
+		return 0, nil
+	}
+	size, err := PartialJoinSize(g, in, s)
+	if err != nil {
+		return 0, err
+	}
+	return float64(size) / (math.Pow(float64(m), float64(len(s)-1)) * float64(b)), nil
+}
+
+// PsiFromSizes evaluates Ψ for a hypothetical instance given per-component
+// subjoin sizes already known analytically: sizes is the list of connected-
+// component subjoin cardinalities, k the total number of edges in S.
+func PsiFromSizes(sizes []float64, k, m, b int) float64 {
+	prod := 1.0
+	for _, s := range sizes {
+		prod *= s
+	}
+	return prod / (math.Pow(float64(m), float64(k-1)) * float64(b))
+}

@@ -1,0 +1,264 @@
+package count
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+func disk() *extmem.Disk { return extmem.NewDisk(extmem.Config{M: 16, B: 4}) }
+
+// fig1Instance builds an L3 instance in the spirit of Figure 1: R1 and R3
+// cross products through shared endpoints, R2 a partial matching, so the
+// subjoin on {R1,R3} (cross product) strictly exceeds the partial join.
+func fig1Instance(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+	g := hypergraph.Line(3) // attrs 0..3 = A,B,C,D
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, []tuple.Tuple{
+			{1, 1}, {2, 1}, {3, 2},
+		}),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, []tuple.Tuple{
+			{1, 1}, {2, 2},
+		}),
+		2: relation.FromTuples(d, tuple.Schema{2, 3}, []tuple.Tuple{
+			{1, 1}, {1, 2}, {2, 3},
+		}),
+	}
+	return g, in
+}
+
+func TestFullJoinSizeL3(t *testing.T) {
+	g, in := fig1Instance(disk())
+	n, err := FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: (1,1)-(1,1)-(1,1),(1,2); (2,1)-(1,1)-(1,1),(1,2); (3,2)-(2,2)-(2,3).
+	if n != 5 {
+		t.Fatalf("|Q(R)| = %d, want 5", n)
+	}
+}
+
+func TestSubjoinVsPartialJoin(t *testing.T) {
+	g, in := fig1Instance(disk())
+	// Subjoin on {R1,R3} is the cross product: 3*3 = 9.
+	sub, err := SubjoinSize(g, in, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != 9 {
+		t.Fatalf("subjoin = %v, want 9", sub)
+	}
+	// Partial join on {R1,R3}: distinct (A,B,C,D) combos from full join = 5.
+	part, err := PartialJoinSize(g, in, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != 5 {
+		t.Fatalf("partial = %d, want 5", part)
+	}
+	// Connected S: subjoin == partial join on fully reduced; here {R1,R2} is
+	// connected. Note our instance is fully reduced by construction.
+	sub12, err := SubjoinSize(g, in, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part12, err := PartialJoinSize(g, in, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub12 != float64(part12) {
+		t.Fatalf("connected subjoin %v != partial %d", sub12, part12)
+	}
+}
+
+func TestSubjoinSingleAndEmpty(t *testing.T) {
+	g, in := fig1Instance(disk())
+	s, err := SubjoinSize(g, in, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 2 {
+		t.Fatalf("single-edge subjoin = %v, want 2", s)
+	}
+	s, err = SubjoinSize(g, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("empty subjoin = %v, want 1", s)
+	}
+	if _, err := SubjoinSize(g, in, []int{99}); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+}
+
+func TestEnumerateDedupsSetSemantics(t *testing.T) {
+	d := disk()
+	g := hypergraph.Line(2)
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, []tuple.Tuple{{1, 5}, {1, 5}}),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, []tuple.Tuple{{5, 9}}),
+	}
+	n, err := FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("duplicate tuples should collapse: %d", n)
+	}
+}
+
+func TestEnumerateDisconnected(t *testing.T) {
+	d := disk()
+	g := hypergraph.MustNew([]*hypergraph.Edge{
+		{ID: 0, Attrs: []int{0}},
+		{ID: 1, Attrs: []int{1}},
+	})
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0}, []tuple.Tuple{{1}, {2}}),
+		1: relation.FromTuples(d, tuple.Schema{1}, []tuple.Tuple{{7}, {8}, {9}}),
+	}
+	n, err := FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("cross product size = %d, want 6", n)
+	}
+	sub, err := SubjoinSize(g, in, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != 6 {
+		t.Fatalf("disconnected subjoin = %v, want 6", sub)
+	}
+}
+
+func TestPsiFormulas(t *testing.T) {
+	g, in := fig1Instance(disk())
+	m, b := 16, 4
+	psi, err := Psi(g, in, []int{0, 2}, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 9.0 / (16 * 4)
+	if math.Abs(psi-want) > 1e-12 {
+		t.Fatalf("Psi = %v, want %v", psi, want)
+	}
+	lo, err := PsiLower(g, in, []int{0, 2}, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 5.0 / (16 * 4)
+	if math.Abs(lo-want) > 1e-12 {
+		t.Fatalf("psi = %v, want %v", lo, want)
+	}
+	if got := PsiFromSizes([]float64{3, 3}, 2, m, b); math.Abs(got-9.0/64) > 1e-12 {
+		t.Fatalf("PsiFromSizes = %v", got)
+	}
+	// |S| = 1: just size/B.
+	one, err := Psi(g, in, []int{0}, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one-3.0/4) > 1e-12 {
+		t.Fatalf("Psi single = %v", one)
+	}
+}
+
+// Property: the DP subjoin size equals brute-force enumeration of the
+// subquery on random acyclic instances.
+func TestSubjoinDPMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		d := disk()
+		n := 2 + rng.Intn(4)
+		g := hypergraph.Line(n)
+		in := relation.Instance{}
+		for i := 0; i < n; i++ {
+			var rows []tuple.Tuple
+			for k := 0; k < 3+rng.Intn(12); k++ {
+				rows = append(rows, tuple.Tuple{int64(rng.Intn(4)), int64(rng.Intn(4))})
+			}
+			in[i] = relation.FromTuples(d, tuple.Schema{i, i + 1}, rows)
+		}
+		// Random subset S.
+		var s []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s = append(s, i)
+			}
+		}
+		if len(s) == 0 {
+			s = []int{0}
+		}
+		dp, err := SubjoinSize(g, in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force on the subquery (its own full join).
+		sub := g.Subgraph(s)
+		bf, err := FullJoinSize(sub, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp != float64(bf) {
+			t.Fatalf("DP %v != brute force %d on S=%v (trial %d)", dp, bf, s, trial)
+		}
+	}
+}
+
+// On fully-reduced connected instances, subjoin == partial join (the paper's
+// observation in Section 1.4).
+func TestConnectedSubjoinEqualsPartialWhenReduced(t *testing.T) {
+	d := disk()
+	g := hypergraph.Line(3)
+	// A fully reduced instance: complete bipartite layers.
+	var r1, r2, r3 []tuple.Tuple
+	for a := int64(0); a < 3; a++ {
+		for b := int64(0); b < 2; b++ {
+			r1 = append(r1, tuple.Tuple{a, b})
+			r3 = append(r3, tuple.Tuple{b, a})
+		}
+	}
+	for b := int64(0); b < 2; b++ {
+		for c := int64(0); c < 2; c++ {
+			r2 = append(r2, tuple.Tuple{b, c})
+		}
+	}
+	in := relation.Instance{
+		0: relation.FromTuples(d, tuple.Schema{0, 1}, r1),
+		1: relation.FromTuples(d, tuple.Schema{1, 2}, r2),
+		2: relation.FromTuples(d, tuple.Schema{2, 3}, r3),
+	}
+	for _, s := range [][]int{{0, 1}, {1, 2}, {0, 1, 2}} {
+		sub, err := SubjoinSize(g, in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := PartialJoinSize(g, in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub != float64(part) {
+			t.Fatalf("S=%v: subjoin %v != partial %d", s, sub, part)
+		}
+	}
+}
+
+func TestEnumerateEmptyQuery(t *testing.T) {
+	g := hypergraph.MustNew(nil)
+	n := 0
+	if err := Enumerate(g, relation.Instance{}, func(tuple.Assignment) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("empty query results = %d, want 1", n)
+	}
+}

@@ -1,0 +1,287 @@
+// Package cover computes edge covers of query hypergraphs and the quantities
+// built on them: the fractional edge cover and AGM bound (Section 2.2.1),
+// integrality on acyclic queries (Lemma 2), the greedy minimum edge cover of
+// Algorithm 6 (Section 7.1), the structure of optimal line-join covers
+// (Section 6.1), and the balance conditions of Sections 6.2 and 7.3.
+//
+// Relation sizes are handled in log-space to keep products of large N(e)
+// finite; bound formulas exposed to callers report log2 values alongside
+// the plain product when it fits in a float64.
+package cover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/lp"
+)
+
+// Sizes maps edge ID -> relation size N(e). All sizes must be >= 1.
+type Sizes map[int]float64
+
+// Validate checks that every edge of g has a positive size.
+func (s Sizes) Validate(g *hypergraph.Graph) error {
+	for _, e := range g.Edges() {
+		n, ok := s[e.ID]
+		if !ok {
+			return fmt.Errorf("cover: no size for edge %s (id %d)", e.Name, e.ID)
+		}
+		if n < 1 {
+			return fmt.Errorf("cover: size %v for edge %s must be >= 1", n, e.Name)
+		}
+	}
+	return nil
+}
+
+// Equal returns Sizes assigning n to every edge of g.
+func Equal(g *hypergraph.Graph, n float64) Sizes {
+	s := Sizes{}
+	for _, e := range g.Edges() {
+		s[e.ID] = n
+	}
+	return s
+}
+
+// Fractional computes the optimal fractional edge cover x of g under the
+// weighted objective Σ x_e·log N_e, returning x by edge ID and the log2 of
+// the AGM bound (Σ x_e·log2 N_e).
+func Fractional(g *hypergraph.Graph, sizes Sizes) (map[int]float64, float64, error) {
+	return FractionalAttrs(g, sizes, g.Attrs())
+}
+
+// FractionalAttrs computes the optimal fractional cover of only the given
+// attributes, using every edge of g. This is the worst-case size (in log2)
+// of a partial join on those attributes over fully reduced instances: the
+// projection of Q(R) onto any attribute set is contained in the join of any
+// edge sub-collection covering it, so the minimum cover bounds it, and the
+// paper's constructions show the bound is attained for acyclic queries.
+func FractionalAttrs(g *hypergraph.Graph, sizes Sizes, attrs []hypergraph.Attr) (map[int]float64, float64, error) {
+	if err := sizes.Validate(g); err != nil {
+		return nil, 0, err
+	}
+	edges := g.Edges()
+	if len(edges) == 0 || len(attrs) == 0 {
+		if len(attrs) > 0 {
+			return nil, 0, fmt.Errorf("cover: no edges to cover attributes %v", attrs)
+		}
+		return map[int]float64{}, 0, nil
+	}
+	c := make([]float64, len(edges))
+	for i, e := range edges {
+		c[i] = math.Log2(sizes[e.ID])
+		if c[i] == 0 {
+			// Keep a strictly positive cost so the LP prefers fewer edges
+			// even when N(e)=1; does not change the bound value materially.
+			c[i] = 1e-12
+		}
+	}
+	a := make([][]float64, len(attrs))
+	b := make([]float64, len(attrs))
+	for i, v := range attrs {
+		row := make([]float64, len(edges))
+		for j, e := range edges {
+			if e.Has(v) {
+				row[j] = 1
+			}
+		}
+		a[i] = row
+		b[i] = 1
+	}
+	x, obj, err := lp.SolveMinGE(c, a, b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cover: fractional edge cover: %w", err)
+	}
+	out := map[int]float64{}
+	for i, e := range edges {
+		out[e.ID] = x[i]
+	}
+	return out, obj, nil
+}
+
+// AGMBoundLog2 returns log2 of the AGM bound max_R |Q(R)| = min_x Π N^x.
+func AGMBoundLog2(g *hypergraph.Graph, sizes Sizes) (float64, error) {
+	_, obj, err := Fractional(g, sizes)
+	return obj, err
+}
+
+// IsIntegral reports whether the cover x is 0/1 within tolerance
+// (Lemma 2 guarantees this for acyclic queries).
+func IsIntegral(x map[int]float64) bool {
+	for _, v := range x {
+		if math.Abs(v) > 1e-6 && math.Abs(v-1) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMinCover implements Algorithm 6: repeatedly select an edge containing
+// a unique attribute of the residual query, add it to the cover, and remove
+// it together with its attributes. Per the Theorem 7 proof, buds never occur
+// in a minimum edge cover, so single-attribute edges whose attribute also
+// appears elsewhere are dropped without being selected; in a Berge-acyclic
+// residual one of these two rules always applies (the incidence forest has a
+// leaf). A final fallback keeps the procedure total on cyclic inputs. The
+// selected edge IDs are returned sorted.
+func GreedyMinCover(g *hypergraph.Graph) []int {
+	var coverIDs []int
+	q := g
+	for len(q.Attrs()) > 0 {
+		// Drop attribute-less edges left behind by earlier removals.
+		var empty []int
+		for _, e := range q.Edges() {
+			if len(e.Attrs) == 0 {
+				empty = append(empty, e.ID)
+			}
+		}
+		if len(empty) > 0 {
+			q = q.Without(empty, nil)
+			continue
+		}
+		// Rule 1: an edge with a unique attribute is forced into the cover.
+		var pick *hypergraph.Edge
+		for _, e := range q.Edges() {
+			if len(q.UniqueAttrs(e)) > 0 {
+				pick = e
+				break
+			}
+		}
+		if pick != nil {
+			coverIDs = append(coverIDs, pick.ID)
+			q = q.Without([]int{pick.ID}, pick.Attrs)
+			continue
+		}
+		// Rule 2: drop a bud whose attribute appears in another edge; any
+		// cover using the bud can use that other edge instead.
+		dropped := false
+		for _, e := range q.Edges() {
+			if len(e.Attrs) == 1 && q.Degree(e.Attrs[0]) >= 2 {
+				q = q.Without([]int{e.ID}, nil)
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		// Fallback (cyclic graphs only): pick any non-empty edge.
+		for _, e := range q.Edges() {
+			if len(e.Attrs) > 0 {
+				pick = e
+				break
+			}
+		}
+		if pick == nil {
+			break
+		}
+		coverIDs = append(coverIDs, pick.ID)
+		q = q.Without([]int{pick.ID}, pick.Attrs)
+	}
+	sort.Ints(coverIDs)
+	return coverIDs
+}
+
+// ExactMinCover returns a minimum-cardinality set of edges covering all
+// attributes, by exhaustive search (queries have constant size). It returns
+// nil if no cover exists (an attribute in no edge cannot happen by
+// construction; an empty graph yields an empty cover).
+func ExactMinCover(g *hypergraph.Graph) []int {
+	edges := g.Edges()
+	attrs := g.Attrs()
+	n := len(edges)
+	if n > 30 {
+		panic(fmt.Sprintf("cover: ExactMinCover on %d edges", n))
+	}
+	attrIdx := map[int]int{}
+	for i, a := range attrs {
+		attrIdx[a] = i
+	}
+	full := uint64(1)<<len(attrs) - 1
+	masks := make([]uint64, n)
+	for i, e := range edges {
+		for _, a := range e.Attrs {
+			masks[i] |= 1 << attrIdx[a]
+		}
+	}
+	best := []int(nil)
+	for sub := uint64(0); sub < 1<<n; sub++ {
+		var m uint64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if sub&(1<<i) != 0 {
+				m |= masks[i]
+				cnt++
+			}
+		}
+		if m == full && (best == nil || cnt < len(best)) {
+			var ids []int
+			for i := 0; i < n; i++ {
+				if sub&(1<<i) != 0 {
+					ids = append(ids, edges[i].ID)
+				}
+			}
+			best = ids
+		}
+	}
+	return best
+}
+
+// BestIntegralCover returns the 0/1 edge cover minimizing Π N(e) over the
+// chosen edges (the optimal cover for acyclic queries per Lemma 2), as edge
+// IDs, plus log2 of the product. Exhaustive over subsets.
+func BestIntegralCover(g *hypergraph.Graph, sizes Sizes) ([]int, float64, error) {
+	if err := sizes.Validate(g); err != nil {
+		return nil, 0, err
+	}
+	edges := g.Edges()
+	attrs := g.Attrs()
+	n := len(edges)
+	if n > 30 {
+		return nil, 0, fmt.Errorf("cover: BestIntegralCover on %d edges", n)
+	}
+	attrIdx := map[int]int{}
+	for i, a := range attrs {
+		attrIdx[a] = i
+	}
+	full := uint64(1)<<len(attrs) - 1
+	masks := make([]uint64, n)
+	logs := make([]float64, n)
+	for i, e := range edges {
+		for _, a := range e.Attrs {
+			masks[i] |= 1 << attrIdx[a]
+		}
+		logs[i] = math.Log2(sizes[e.ID])
+	}
+	bestLog := math.Inf(1)
+	var best []int
+	for sub := uint64(0); sub < 1<<n; sub++ {
+		var m uint64
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if sub&(1<<i) != 0 {
+				m |= masks[i]
+				sum += logs[i]
+			}
+		}
+		if m == full && sum < bestLog {
+			bestLog = sum
+			var ids []int
+			for i := 0; i < n; i++ {
+				if sub&(1<<i) != 0 {
+					ids = append(ids, edges[i].ID)
+				}
+			}
+			best = ids
+		}
+	}
+	if best == nil && len(attrs) > 0 {
+		return nil, 0, fmt.Errorf("cover: no integral cover exists")
+	}
+	if best == nil {
+		best = []int{}
+		bestLog = 0
+	}
+	return best, bestLog, nil
+}

@@ -1,0 +1,184 @@
+package cover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acyclicjoin/internal/hypergraph"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestFractionalLine3(t *testing.T) {
+	g := hypergraph.Line(3)
+	sizes := Sizes{0: 100, 1: 1000, 2: 50}
+	x, obj, err := Fractional(g, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 1) || !approx(x[1], 0) || !approx(x[2], 1) {
+		t.Fatalf("x = %v", x)
+	}
+	if !approx(obj, math.Log2(100*50)) {
+		t.Fatalf("obj = %v", obj)
+	}
+	if !IsIntegral(x) {
+		t.Fatal("acyclic cover not integral")
+	}
+}
+
+func TestFractionalTriangleIsHalf(t *testing.T) {
+	g := hypergraph.MustNew([]*hypergraph.Edge{
+		{ID: 0, Attrs: []int{0, 1}},
+		{ID: 1, Attrs: []int{1, 2}},
+		{ID: 2, Attrs: []int{0, 2}},
+	})
+	x, obj, err := Fractional(g, Equal(g, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 1.5*math.Log2(64)) {
+		t.Fatalf("obj = %v, want %v", obj, 1.5*math.Log2(64))
+	}
+	if IsIntegral(x) {
+		t.Fatalf("triangle cover should be fractional: %v", x)
+	}
+}
+
+func TestFractionalEmptyGraph(t *testing.T) {
+	g := hypergraph.MustNew(nil)
+	x, obj, err := Fractional(g, Sizes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 0 || obj != 0 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestSizesValidate(t *testing.T) {
+	g := hypergraph.Line(2)
+	if err := (Sizes{0: 10}).Validate(g); err == nil {
+		t.Fatal("missing size accepted")
+	}
+	if err := (Sizes{0: 10, 1: 0.5}).Validate(g); err == nil {
+		t.Fatal("sub-1 size accepted")
+	}
+	if err := (Sizes{0: 10, 1: 10}).Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMinCoverStar(t *testing.T) {
+	g := hypergraph.StarQuery(3)
+	c := GreedyMinCover(g)
+	// Petals have unique attrs; they cover everything, core excluded.
+	if len(c) != 3 {
+		t.Fatalf("greedy cover = %v, want the 3 petals", c)
+	}
+	for _, id := range c {
+		if id == 0 {
+			t.Fatalf("core selected: %v", c)
+		}
+	}
+}
+
+func TestGreedyMatchesExactOnRandomAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := randomAcyclic(rng, 1+rng.Intn(7))
+		greedy := GreedyMinCover(g)
+		exact := ExactMinCover(g)
+		if len(greedy) != len(exact) {
+			t.Fatalf("greedy %v (len %d) != exact %v (len %d) on %v",
+				greedy, len(greedy), exact, len(exact), g)
+		}
+		// Verify greedy actually covers.
+		covered := map[int]bool{}
+		for _, id := range greedy {
+			for _, a := range g.Edge(id).Attrs {
+				covered[a] = true
+			}
+		}
+		for _, a := range g.Attrs() {
+			if !covered[a] {
+				t.Fatalf("attr v%d uncovered by greedy %v on %v", a, greedy, g)
+			}
+		}
+	}
+}
+
+// Lemma 2 property: the fractional cover of a random acyclic query is 0/1.
+func TestLemma2IntegralityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		g := randomAcyclic(rng, 1+rng.Intn(8))
+		sizes := Sizes{}
+		for _, e := range g.Edges() {
+			sizes[e.ID] = float64(1 + rng.Intn(1000))
+		}
+		x, obj, err := Fractional(g, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsIntegral(x) {
+			t.Fatalf("Lemma 2 violated on %v: x=%v", g, x)
+		}
+		// And it must agree with the best integral cover.
+		_, bestLog, err := BestIntegralCover(g, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(obj-bestLog) > 1e-6 {
+			t.Fatalf("LP obj %v != best integral %v on %v", obj, bestLog, g)
+		}
+	}
+}
+
+func randomAcyclic(rng *rand.Rand, nEdges int) *hypergraph.Graph {
+	attr := 0
+	edges := make([]*hypergraph.Edge, nEdges)
+	for i := 0; i < nEdges; i++ {
+		edges[i] = &hypergraph.Edge{ID: i, Name: "R"}
+	}
+	for i := 1; i < nEdges; i++ {
+		p := rng.Intn(i)
+		edges[i].Attrs = append(edges[i].Attrs, attr)
+		edges[p].Attrs = append(edges[p].Attrs, attr)
+		attr++
+	}
+	for i := 0; i < nEdges; i++ {
+		for k := rng.Intn(3); k > 0; k-- {
+			edges[i].Attrs = append(edges[i].Attrs, attr)
+			attr++
+		}
+		if len(edges[i].Attrs) == 0 {
+			edges[i].Attrs = append(edges[i].Attrs, attr)
+			attr++
+		}
+	}
+	return hypergraph.MustNew(edges)
+}
+
+func TestBestIntegralCover(t *testing.T) {
+	g := hypergraph.Line(4)
+	// Sizes making (1,0,1,1) better than (1,1,0,1): N2 > N3.
+	sizes := Sizes{0: 10, 1: 100, 2: 20, 3: 10}
+	ids, logv, err := BestIntegralCover(g, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 2: true, 3: true}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("ids = %v, want {0,2,3}", ids)
+		}
+	}
+	if !approx(logv, math.Log2(10*20*10)) {
+		t.Fatalf("log = %v", logv)
+	}
+}

@@ -1,0 +1,103 @@
+package cover
+
+import (
+	"math"
+	"testing"
+
+	"acyclicjoin/internal/hypergraph"
+)
+
+// FuzzLineCover cross-checks the §6.1 dynamic program against the LP on
+// arbitrary size vectors: identical optima, rules 1-2 always hold, and the
+// alternating-interval decomposition tiles the chosen positions.
+func FuzzLineCover(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{10})
+	f.Add([]byte{255, 1, 255, 1, 255})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 10 {
+			t.Skip()
+		}
+		sizes := make([]float64, len(data))
+		for i, b := range data {
+			sizes[i] = float64(int(b) + 1) // >= 1
+		}
+		x, logv, err := LineCover(sizes)
+		if err != nil {
+			t.Fatalf("LineCover(%v): %v", sizes, err)
+		}
+		n := len(sizes)
+		if x[0] != 1 || x[n-1] != 1 {
+			t.Fatalf("rule 1 violated: %v", x)
+		}
+		for i := 0; i+1 < n; i++ {
+			if x[i] == 0 && x[i+1] == 0 {
+				t.Fatalf("rule 2 violated: %v", x)
+			}
+		}
+		// Cost is the sum of chosen logs.
+		sum := 0.0
+		for i, b := range x {
+			if b == 1 {
+				sum += math.Log2(sizes[i])
+			}
+		}
+		if math.Abs(sum-logv) > 1e-9 {
+			t.Fatalf("cost mismatch: %v vs %v", sum, logv)
+		}
+		// LP agreement.
+		g := hypergraph.Line(n)
+		szMap := Sizes{}
+		for i, s := range sizes {
+			szMap[i] = s
+		}
+		_, lpObj, err := Fractional(g, szMap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lpObj-logv) > 1e-6 {
+			t.Fatalf("DP %v != LP %v on %v", logv, lpObj, sizes)
+		}
+		// Intervals tile the 1-positions.
+		covered := make([]bool, n)
+		for _, iv := range AlternatingIntervals(x) {
+			for i := iv[0]; i <= iv[1]; i++ {
+				covered[i] = true
+			}
+		}
+		for i, b := range x {
+			if b == 1 && !covered[i] {
+				t.Fatalf("position %d not covered by intervals: %v", i, x)
+			}
+		}
+	})
+}
+
+// FuzzBalanceViolations: violations must be symmetric under size reversal
+// (condition (6) is palindromic) and empty iff IsBalancedOddLine.
+func FuzzBalanceViolations(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{2, 100, 2, 100, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 9 || len(data)%2 == 0 {
+			t.Skip()
+		}
+		sizes := make([]float64, len(data))
+		rev := make([]float64, len(data))
+		for i, b := range data {
+			sizes[i] = float64(int(b) + 1)
+		}
+		for i := range sizes {
+			rev[i] = sizes[len(sizes)-1-i]
+		}
+		v1 := BalanceViolations(sizes)
+		v2 := BalanceViolations(rev)
+		if (len(v1) == 0) != (len(v2) == 0) {
+			t.Fatalf("balance not reversal-symmetric: %v vs %v on %v", v1, v2, sizes)
+		}
+		if IsBalancedOddLine(sizes) != (len(v1) == 0) {
+			t.Fatal("IsBalancedOddLine inconsistent with BalanceViolations")
+		}
+	})
+}

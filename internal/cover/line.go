@@ -1,0 +1,212 @@
+package cover
+
+import (
+	"fmt"
+	"math"
+)
+
+// LineCover computes the optimal 0/1 edge cover x of an n-relation line join
+// with the given sizes N[0..n-1] (indices are paper indices minus one), by
+// dynamic programming: every attribute v_1..v_{n+1} must be covered, which
+// forces x_1 = x_n = 1 and forbids two consecutive zeros. It returns the 0/1
+// vector and log2 of the product Π N_i^{x_i}.
+func LineCover(sizes []float64) ([]int, float64, error) {
+	n := len(sizes)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("cover: LineCover on empty line")
+	}
+	logs := make([]float64, n)
+	for i, s := range sizes {
+		if s < 1 {
+			return nil, 0, fmt.Errorf("cover: size %v at position %d must be >= 1", s, i)
+		}
+		logs[i] = math.Log2(s)
+	}
+	if n == 1 {
+		return []int{1}, logs[0], nil
+	}
+	// dp[i][b]: min cost of covering attrs v_1..v_{i+1} with x_i = b,
+	// where b=1 means edge i chosen. Transitions forbid 0 after 0.
+	const inf = math.MaxFloat64
+	dp := [][2]float64{}
+	choice := [][2]int{}
+	dp = append(dp, [2]float64{inf, logs[0]}) // x_1 must be 1 (covers v_1)
+	choice = append(choice, [2]int{-1, -1})
+	for i := 1; i < n; i++ {
+		var cur [2]float64
+		var ch [2]int
+		// x_i = 0: previous must be 1.
+		if dp[i-1][1] < inf {
+			cur[0] = dp[i-1][1]
+			ch[0] = 1
+		} else {
+			cur[0] = inf
+			ch[0] = -1
+		}
+		// x_i = 1: previous either.
+		best := dp[i-1][0]
+		ch[1] = 0
+		if dp[i-1][1] < best {
+			best = dp[i-1][1]
+			ch[1] = 1
+		}
+		if best < inf {
+			cur[1] = best + logs[i]
+		} else {
+			cur[1] = inf
+			ch[1] = -1
+		}
+		dp = append(dp, cur)
+		choice = append(choice, ch)
+	}
+	// Last edge must be chosen (covers v_{n+1}).
+	if dp[n-1][1] >= inf {
+		return nil, 0, fmt.Errorf("cover: no feasible line cover")
+	}
+	x := make([]int, n)
+	b := 1
+	total := dp[n-1][1]
+	for i := n - 1; i >= 0; i-- {
+		x[i] = b
+		b = choice[i][b]
+	}
+	return x, total, nil
+}
+
+// AlternatingIntervals decomposes a 0/1 line cover into its maximal
+// alternating intervals (1,0,1,0,...,0,1), returning [start,end] edge-index
+// pairs (inclusive). Per Section 6.1 an optimal cover is a concatenation of
+// such intervals; a singleton 1 is also an interval.
+func AlternatingIntervals(x []int) [][2]int {
+	var out [][2]int
+	i := 0
+	n := len(x)
+	for i < n {
+		if x[i] != 1 {
+			i++
+			continue
+		}
+		j := i
+		// Extend while the pattern continues 1,0,1,0,...: from a 1 at j,
+		// accept "0,1" pairs.
+		for j+2 < n && x[j+1] == 0 && x[j+2] == 1 {
+			j += 2
+		}
+		out = append(out, [2]int{i, j})
+		i = j + 1
+	}
+	return out
+}
+
+// CheckLineCoverRules verifies the four §6.1 rules on a 0/1 cover of a line
+// join, returning a descriptive error for the first violation:
+// (1) x_1 = x_n = 1; (2) no two consecutive 0s; (3) no three consecutive 1s;
+// (4) no (1,1,0,1,1) pattern.
+func CheckLineCoverRules(x []int) error {
+	n := len(x)
+	if n == 0 {
+		return fmt.Errorf("cover: empty cover")
+	}
+	if x[0] != 1 || x[n-1] != 1 {
+		return fmt.Errorf("cover: rule 1 violated: ends %d,%d", x[0], x[n-1])
+	}
+	for i := 0; i+1 < n; i++ {
+		if x[i] == 0 && x[i+1] == 0 {
+			return fmt.Errorf("cover: rule 2 violated at %d", i)
+		}
+	}
+	for i := 0; i+2 < n; i++ {
+		if x[i] == 1 && x[i+1] == 1 && x[i+2] == 1 {
+			return fmt.Errorf("cover: rule 3 violated at %d", i)
+		}
+	}
+	for i := 0; i+4 < n; i++ {
+		if x[i] == 1 && x[i+1] == 1 && x[i+2] == 0 && x[i+3] == 1 && x[i+4] == 1 {
+			return fmt.Errorf("cover: rule 4 violated at %d", i)
+		}
+	}
+	return nil
+}
+
+// IsBalancedOddLine reports whether an odd-length line join is balanced per
+// condition (6) of Section 6.2: for every 1 <= i < j <= n with j-i even,
+//
+//	N_i·N_{i+2}···N_j  >=  N_{i+1}·N_{i+3}···N_{j-1}.
+//
+// sizes uses 0-based indexing (sizes[k] = N_{k+1}).
+func IsBalancedOddLine(sizes []float64) bool {
+	return len(BalanceViolations(sizes)) == 0
+}
+
+// BalanceViolations lists the (i, j) paper-index pairs (1-based, j-i even)
+// violating condition (6).
+func BalanceViolations(sizes []float64) [][2]int {
+	n := len(sizes)
+	logs := make([]float64, n)
+	for k, s := range sizes {
+		logs[k] = math.Log2(s)
+	}
+	var out [][2]int
+	for i := 1; i <= n; i++ {
+		for j := i + 2; j <= n; j += 2 {
+			odd, even := 0.0, 0.0
+			for k := i; k <= j; k += 2 {
+				odd += logs[k-1]
+			}
+			for k := i + 1; k <= j-1; k += 2 {
+				even += logs[k-1]
+			}
+			if odd < even-1e-9 {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// EvenLineSplit searches for an odd k (1-based) such that the prefix
+// e_1..e_k and suffix e_{k+1}..e_n of an even-length line join are both
+// balanced AND the concatenation of their optimal covers is an optimal
+// cover of the whole line (Theorem 6 requires the optimal cover to consist
+// of exactly those two alternating intervals). It returns (k, true) for the
+// first such k. Without the cost condition an unbalanced L6 whose optimal
+// cover is (1,0,1,0,1,1) would wrongly "split" at k=3.
+func EvenLineSplit(sizes []float64) (int, bool) {
+	n := len(sizes)
+	if n%2 != 0 {
+		return 0, false
+	}
+	_, whole, err := LineCover(sizes)
+	if err != nil {
+		return 0, false
+	}
+	for k := 1; k < n; k += 2 {
+		if !IsBalancedOddLine(sizes[:k]) || !IsBalancedOddLine(sizes[k:]) {
+			continue
+		}
+		_, pre, err1 := LineCover(sizes[:k])
+		_, suf, err2 := LineCover(sizes[k:])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if pre+suf <= whole+1e-9 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// DumbbellBalanced reports condition (7) of Section 7.3 for a dumbbell join:
+// N_i·N_j >= N_0·N_m for all petals i of the first star (1 <= i <= n-1) and
+// j of the second (n+1 <= j <= m-1). Arguments: the two core sizes and the
+// petal sizes of each star (excluding the shared petal e_n).
+func DumbbellBalanced(n0, nm float64, petals1, petals2 []float64) bool {
+	min1, min2 := math.Inf(1), math.Inf(1)
+	for _, p := range petals1 {
+		min1 = math.Min(min1, p)
+	}
+	for _, p := range petals2 {
+		min2 = math.Min(min2, p)
+	}
+	return min1*min2 >= n0*nm-1e-9
+}

@@ -1,0 +1,458 @@
+// Package extmem simulates the standard external memory (I/O) model of
+// Aggarwal and Vitter: a main memory holding M tuples and a disk accessed in
+// blocks of B tuples, with cost measured in block transfers.
+//
+// All data handled by the join algorithms in this repository lives in
+// fixed-arity files of int64 tuples on a simulated Disk. Sequential access is
+// provided by Reader and Writer, which charge exactly one I/O per block of B
+// tuples crossed; random access is provided by ReadBlock. In-memory working
+// space is accounted through Grab/Release so tests can assert that an
+// algorithm never holds more than c·M tuples in memory at once (the model
+// permits a constant factor c).
+//
+// Emission of join results is free, matching the "emit model" of the paper:
+// results must reside in memory when emitted but are never charged disk I/Os.
+package extmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config fixes the parameters of the simulated machine.
+type Config struct {
+	// M is the memory capacity in tuples.
+	M int
+	// B is the block size in tuples.
+	B int
+	// MemFactor is the constant c such that algorithms may use up to c*M
+	// tuples of memory. Zero means DefaultMemFactor.
+	MemFactor int
+}
+
+// DefaultMemFactor is the default constant c in the c*M memory allowance.
+const DefaultMemFactor = 16
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("extmem: memory size M=%d must be positive", c.M)
+	}
+	if c.B <= 0 {
+		return fmt.Errorf("extmem: block size B=%d must be positive", c.B)
+	}
+	if c.B > c.M {
+		return fmt.Errorf("extmem: block size B=%d exceeds memory size M=%d", c.B, c.M)
+	}
+	return nil
+}
+
+// Stats accumulates the I/O and memory behaviour of a run.
+type Stats struct {
+	// Reads and Writes count block transfers from and to disk.
+	Reads  int64
+	Writes int64
+	// MemHiWater is the maximum number of tuples simultaneously held in
+	// memory, as accounted via Grab/Release.
+	MemHiWater int
+}
+
+// IOs returns the total number of block transfers.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Add returns the component-wise sum of two Stats (hi-water takes the max).
+func (s Stats) Add(o Stats) Stats {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	if o.MemHiWater > s.MemHiWater {
+		s.MemHiWater = o.MemHiWater
+	}
+	return s
+}
+
+// Sub returns the difference of the I/O counters (hi-water is kept from s).
+func (s Stats) Sub(o Stats) Stats {
+	s.Reads -= o.Reads
+	s.Writes -= o.Writes
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d total=%d memHiWater=%d",
+		s.Reads, s.Writes, s.IOs(), s.MemHiWater)
+}
+
+// ErrMemoryExceeded is returned (wrapped) when an algorithm grabs more than
+// c*M tuples of memory.
+var ErrMemoryExceeded = errors.New("extmem: memory allowance exceeded")
+
+// Disk is a simulated disk plus the memory accountant. It is not safe for
+// concurrent use; the join algorithms here are sequential, as in the model.
+type Disk struct {
+	cfg      Config
+	stats    Stats
+	memInUse int
+	memCap   int
+	nextID   int
+	// charging can be suspended for free bookkeeping operations (never used
+	// by algorithm code paths; exists for harness-internal verification).
+	suspended int
+	// phase labels I/Os for cost breakdowns; empty means DefaultPhase.
+	phase      string
+	phaseStats map[string]Stats
+}
+
+// DefaultPhase is the label for I/Os charged outside any WithPhase scope.
+const DefaultPhase = "scan/join"
+
+// NewDisk creates a simulated disk for the given configuration.
+// It panics if the configuration is invalid; use Config.Validate to check.
+func NewDisk(cfg Config) *Disk {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := cfg.MemFactor
+	if f == 0 {
+		f = DefaultMemFactor
+	}
+	return &Disk{cfg: cfg, memCap: f * cfg.M}
+}
+
+// Config returns the machine parameters.
+func (d *Disk) Config() Config { return d.cfg }
+
+// M returns the memory capacity in tuples.
+func (d *Disk) M() int { return d.cfg.M }
+
+// B returns the block size in tuples.
+func (d *Disk) B() int { return d.cfg.B }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the I/O counters and the memory hi-water mark.
+func (d *Disk) ResetStats() {
+	d.stats = Stats{}
+	d.stats.MemHiWater = d.memInUse
+}
+
+// Grab accounts for n tuples of in-memory working space. It returns
+// ErrMemoryExceeded (wrapped) if the c*M allowance would be exceeded.
+func (d *Disk) Grab(n int) error {
+	if n < 0 {
+		return fmt.Errorf("extmem: Grab(%d): negative size", n)
+	}
+	d.memInUse += n
+	if d.memInUse > d.stats.MemHiWater {
+		d.stats.MemHiWater = d.memInUse
+	}
+	if d.memInUse > d.memCap {
+		return fmt.Errorf("%w: in use %d > cap %d (c*M)", ErrMemoryExceeded, d.memInUse, d.memCap)
+	}
+	return nil
+}
+
+// Release returns n tuples of working space to the accountant.
+func (d *Disk) Release(n int) {
+	d.memInUse -= n
+	if d.memInUse < 0 {
+		panic(fmt.Sprintf("extmem: Release: memory accounting underflow (%d)", d.memInUse))
+	}
+}
+
+// MemInUse returns the currently accounted in-memory tuple count.
+func (d *Disk) MemInUse() int { return d.memInUse }
+
+func (d *Disk) chargeRead(blocks int64) {
+	if d.suspended == 0 {
+		d.stats.Reads += blocks
+		if d.phaseStats != nil {
+			s := d.phaseStats[d.phaseLabel()]
+			s.Reads += blocks
+			d.phaseStats[d.phaseLabel()] = s
+		}
+	}
+}
+
+func (d *Disk) chargeWrite(blocks int64) {
+	if d.suspended == 0 {
+		d.stats.Writes += blocks
+		if d.phaseStats != nil {
+			s := d.phaseStats[d.phaseLabel()]
+			s.Writes += blocks
+			d.phaseStats[d.phaseLabel()] = s
+		}
+	}
+}
+
+func (d *Disk) phaseLabel() string {
+	if d.phase == "" {
+		return DefaultPhase
+	}
+	return d.phase
+}
+
+// EnablePhases turns on per-phase I/O accounting (off by default; it costs
+// a map update per block transfer).
+func (d *Disk) EnablePhases() {
+	if d.phaseStats == nil {
+		d.phaseStats = map[string]Stats{}
+	}
+}
+
+// WithPhase labels all I/Os charged during fn with the given phase name
+// (innermost label wins under nesting). A no-op unless EnablePhases was
+// called.
+func (d *Disk) WithPhase(name string, fn func()) {
+	prev := d.phase
+	d.phase = name
+	fn()
+	d.phase = prev
+}
+
+// PhaseStats returns a snapshot of the per-phase breakdown (nil when phase
+// accounting is disabled).
+func (d *Disk) PhaseStats() map[string]Stats {
+	if d.phaseStats == nil {
+		return nil
+	}
+	out := make(map[string]Stats, len(d.phaseStats))
+	for k, v := range d.phaseStats {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetPhases clears the per-phase breakdown (keeps accounting enabled).
+func (d *Disk) ResetPhases() {
+	if d.phaseStats != nil {
+		d.phaseStats = map[string]Stats{}
+	}
+}
+
+// Suspend temporarily stops I/O charging; it returns a function restoring it.
+// This is only for test harness verification (e.g. computing expected results
+// without polluting counters), never for algorithm code.
+func (d *Disk) Suspend() func() {
+	d.suspended++
+	return func() { d.suspended-- }
+}
+
+// File is a sequence of fixed-arity tuples stored on the simulated disk.
+// The backing slice is the "disk contents"; algorithm code must only touch it
+// through Reader, Writer, and ReadBlock so that I/Os are charged.
+type File struct {
+	d     *Disk
+	id    int
+	arity int
+	data  []int64 // flat: tuple i occupies data[i*arity : (i+1)*arity]
+}
+
+// NewFile creates an empty file of the given tuple arity (number of columns).
+// Arity zero is permitted: such a file stores only a tuple count (used for
+// relations over zero attributes, which arise in degenerate subqueries).
+func (d *Disk) NewFile(arity int) *File {
+	if arity < 0 {
+		panic(fmt.Sprintf("extmem: NewFile: negative arity %d", arity))
+	}
+	d.nextID++
+	return &File{d: d, id: d.nextID, arity: arity}
+}
+
+// Arity returns the number of columns per tuple.
+func (f *File) Arity() int { return f.arity }
+
+// Len returns the number of tuples in the file. Free: lengths are metadata.
+func (f *File) Len() int {
+	if f.arity == 0 {
+		return len(f.data) // arity-0 files store one sentinel per tuple
+	}
+	return len(f.data) / f.arity
+}
+
+// Disk returns the disk this file lives on.
+func (f *File) Disk() *Disk { return f.d }
+
+// Blocks returns the number of disk blocks the file occupies.
+func (f *File) Blocks() int64 {
+	b := int64(f.d.cfg.B)
+	n := int64(f.Len())
+	return (n + b - 1) / b
+}
+
+// Truncate discards the file's contents.
+func (f *File) Truncate() { f.data = f.data[:0] }
+
+// slot returns the flat width of one tuple, treating arity 0 as width 1
+// (a sentinel cell) so that lengths and block math stay uniform.
+func (f *File) slot() int {
+	if f.arity == 0 {
+		return 1
+	}
+	return f.arity
+}
+
+// Writer appends tuples to a file, charging one write I/O per block of B
+// tuples (a final partial block costs one I/O at Flush/Close).
+type Writer struct {
+	f       *File
+	buffed  int // tuples appended since the last block boundary charge
+	written int64
+	closed  bool
+}
+
+// NewWriter returns a writer appending to f. Appending to a non-empty file is
+// allowed and continues from its current end; the first partially filled
+// block, if any, is accounted as part of the new writes.
+func (f *File) NewWriter() *Writer {
+	return &Writer{f: f}
+}
+
+// Append adds one tuple. The tuple is copied; the caller may reuse t.
+// It panics if len(t) does not match the file arity.
+func (w *Writer) Append(t []int64) {
+	if w.closed {
+		panic("extmem: Writer.Append after Close")
+	}
+	f := w.f
+	if len(t) != f.arity {
+		panic(fmt.Sprintf("extmem: Writer.Append: tuple arity %d != file arity %d", len(t), f.arity))
+	}
+	if f.arity == 0 {
+		f.data = append(f.data, 0)
+	} else {
+		f.data = append(f.data, t...)
+	}
+	w.buffed++
+	w.written++
+	if w.buffed == f.d.cfg.B {
+		f.d.chargeWrite(1)
+		w.buffed = 0
+	}
+}
+
+// Written returns the number of tuples appended so far.
+func (w *Writer) Written() int64 { return w.written }
+
+// Close flushes the final partial block (one write I/O if non-empty).
+func (w *Writer) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.buffed > 0 {
+		w.f.d.chargeWrite(1)
+		w.buffed = 0
+	}
+}
+
+// Reader scans a contiguous tuple range of a file sequentially, charging one
+// read I/O per block of B tuples crossed. The first access charges for the
+// block containing the starting offset.
+type Reader struct {
+	f         *File
+	pos, end  int // tuple indices
+	remaining int // tuples left in the currently charged block window
+}
+
+// NewReader returns a reader over the whole file.
+func (f *File) NewReader() *Reader { return f.NewRangeReader(0, f.Len()) }
+
+// NewRangeReader returns a reader over tuples [off, off+n).
+// It panics if the range is out of bounds.
+func (f *File) NewRangeReader(off, n int) *Reader {
+	if off < 0 || n < 0 || off+n > f.Len() {
+		panic(fmt.Sprintf("extmem: NewRangeReader(%d,%d) out of bounds (len %d)", off, n, f.Len()))
+	}
+	return &Reader{f: f, pos: off, end: off + n}
+}
+
+// Next returns the next tuple, or nil when the range is exhausted.
+// The returned slice aliases disk storage and must not be modified; it stays
+// valid only conceptually within the current block — callers that keep tuples
+// must copy them (and account the memory via Grab).
+func (r *Reader) Next() []int64 {
+	if r.pos >= r.end {
+		return nil
+	}
+	if r.remaining == 0 {
+		r.f.d.chargeRead(1)
+		b := r.f.d.cfg.B
+		// Charge covers the rest of the block containing pos.
+		r.remaining = b - r.pos%b
+	}
+	slot := r.f.slot()
+	var t []int64
+	if r.f.arity == 0 {
+		t = emptyTuple
+	} else {
+		t = r.f.data[r.pos*slot : r.pos*slot+r.f.arity]
+	}
+	r.pos++
+	r.remaining--
+	return t
+}
+
+// Peek returns the next tuple without consuming it (still charges the block
+// I/O on first touch, like Next). Returns nil at end of range.
+func (r *Reader) Peek() []int64 {
+	if r.pos >= r.end {
+		return nil
+	}
+	if r.remaining == 0 {
+		r.f.d.chargeRead(1)
+		b := r.f.d.cfg.B
+		r.remaining = b - r.pos%b
+	}
+	if r.f.arity == 0 {
+		return emptyTuple
+	}
+	slot := r.f.slot()
+	return r.f.data[r.pos*slot : r.pos*slot+r.f.arity]
+}
+
+// Pos returns the index of the next tuple to be returned.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns how many tuples are left in the range.
+func (r *Reader) Remaining() int { return r.end - r.pos }
+
+var emptyTuple = []int64{}
+
+// ReadBlock performs one random block access: it charges one read I/O and
+// returns the tuples of block i (tuple indices [i*B, min((i+1)*B, Len))).
+// The returned slice aliases disk storage; do not modify.
+func (f *File) ReadBlock(i int) [][]int64 {
+	b := f.d.cfg.B
+	lo := i * b
+	if lo < 0 || lo >= f.Len() {
+		panic(fmt.Sprintf("extmem: ReadBlock(%d) out of bounds (len %d)", i, f.Len()))
+	}
+	hi := lo + b
+	if hi > f.Len() {
+		hi = f.Len()
+	}
+	f.d.chargeRead(1)
+	out := make([][]int64, 0, hi-lo)
+	slot := f.slot()
+	for j := lo; j < hi; j++ {
+		if f.arity == 0 {
+			out = append(out, emptyTuple)
+		} else {
+			out = append(out, f.data[j*slot:j*slot+f.arity])
+		}
+	}
+	return out
+}
+
+// At returns tuple i without charging an I/O. It exists solely for
+// verification in tests and for zero-cost metadata probes (e.g. checking
+// boundary values of an already-charged block); algorithm code must not use
+// it to smuggle data past the accountant.
+func (f *File) At(i int) []int64 {
+	if f.arity == 0 {
+		return emptyTuple
+	}
+	slot := f.slot()
+	return f.data[i*slot : i*slot+f.arity]
+}

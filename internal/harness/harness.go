@@ -1,0 +1,166 @@
+// Package harness defines the experiment registry that regenerates every
+// table and figure of the paper as a measured experiment on the simulated
+// external-memory machine, shared by cmd/joinbench and the root package's
+// benchmarks. Each experiment produces an ASCII table comparing measured
+// block I/Os against the paper's bound formula; EXPERIMENTS.md records the
+// outcomes.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// M and B are the machine parameters (tuples per memory / per block).
+	M, B int
+	// Scale multiplies the experiment's base input sizes; 1 is the default
+	// test scale, benchmarks use larger values.
+	Scale int
+	// Seed feeds the randomized workloads.
+	Seed int64
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.M == 0 {
+		p.M = 256
+	}
+	if p.B == 0 {
+		p.B = 16
+	}
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	return p
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Render produces an aligned ASCII table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("E4").
+	ID string
+	// Artifact names the paper artifact ("Table 1 row L3; Theorem 1; Fig 3").
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment and returns its table.
+	Run func(p Params) (*Table, error)
+}
+
+var registry = map[string]*Experiment{}
+
+// Register adds an experiment; called from init functions in this package.
+func Register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID, or nil.
+func Get(id string) *Experiment { return registry[id] }
+
+// All returns the experiments sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: E1 < E2 < ... < E10.
+		return expKey(out[i].ID) < expKey(out[j].ID)
+	})
+	return out
+}
+
+func expKey(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// Ratio formats measured/bound with guards against zero bounds.
+func Ratio(measured int64, bound float64) string {
+	if bound <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(measured)/bound)
+}

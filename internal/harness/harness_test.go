@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E19", "E20", "E21", "E22"}
+	for _, id := range want {
+		if Get(id) == nil {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	// Sorted numerically.
+	for i := 1; i < len(all); i++ {
+		if expKey(all[i-1].ID) > expKey(all[i].ID) {
+			t.Fatalf("registry not sorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xx", 1e9)
+	s := tab.Render()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "note: a note") {
+		t.Fatalf("render:\n%s", s)
+	}
+	if !strings.Contains(s, "2.50") || !strings.Contains(s, "1e+09") {
+		t.Fatalf("float formatting wrong:\n%s", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 0) != "-" {
+		t.Error("zero bound should render '-'")
+	}
+	if Ratio(10, 4) != "2.50" {
+		t.Errorf("ratio = %s", Ratio(10, 4))
+	}
+}
+
+// Every experiment must run clean at small scale. This is the integration
+// test for the whole stack: algorithms, workloads, bounds.
+func TestAllExperimentsSmallScale(t *testing.T) {
+	p := Params{M: 64, B: 8, Scale: 1, Seed: 42}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if out := tab.Render(); len(out) == 0 {
+				t.Fatalf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}
+
+// Shape assertions at small scale: optimal algorithms must stay within a
+// generous constant factor of their bound (the Õ hides a log factor).
+func TestBoundTracking(t *testing.T) {
+	p := Params{M: 64, B: 8, Scale: 1, Seed: 7}
+	checks := map[string]float64{
+		"E1":  64, // ratio column tolerance
+		"E4":  64,
+		"E10": 64,
+		"E11": 64,
+	}
+	for id, tol := range checks {
+		tab, err := Get(id).Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		ratioCol := -1
+		for i, h := range tab.Header {
+			if h == "ratio" {
+				ratioCol = i
+			}
+		}
+		if ratioCol < 0 {
+			t.Fatalf("%s has no ratio column", id)
+		}
+		for _, row := range tab.Rows {
+			var r float64
+			if _, err := fmt.Sscan(row[ratioCol], &r); err != nil {
+				continue
+			}
+			if r > tol {
+				t.Errorf("%s: ratio %v exceeds tolerance %v (row %v)", id, r, tol, row)
+			}
+		}
+	}
+}
+
+// The randomized verification sweep is itself part of the test suite (it
+// caught a real soundness bug in bud peeling under AssumeReduced).
+func TestVerifySweep(t *testing.T) {
+	tab, err := VerifySweep(Params{Seed: 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/count"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/reducer"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// VerifySweep runs a randomized correctness sweep: random Berge-acyclic
+// queries and instances, every strategy, the line dispatcher, and the
+// ablation variant, all checked tuple-for-tuple against the enumeration
+// oracle. It returns a summary table and an error on the first mismatch.
+func VerifySweep(p Params, trials int) (*Table, error) {
+	p = p.WithDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Table{
+		Title:  fmt.Sprintf("verify: %d random instances per configuration, all strategies vs oracle", trials),
+		Header: []string{"configuration", "trials", "mismatches", "max |Q(R)|"},
+	}
+	configs := []struct {
+		name string
+		gen  func(r *rand.Rand) *hypergraph.Graph
+	}{
+		{"random acyclic 2-5 relations", func(r *rand.Rand) *hypergraph.Graph {
+			return randomAcyclicGraph(r, 2+r.Intn(4))
+		}},
+		{"lines L2-L6", func(r *rand.Rand) *hypergraph.Graph {
+			return hypergraph.Line(2 + r.Intn(5))
+		}},
+		{"stars 2-4 petals", func(r *rand.Rand) *hypergraph.Graph {
+			return hypergraph.StarQuery(2 + r.Intn(3))
+		}},
+		{"lollipop/dumbbell", func(r *rand.Rand) *hypergraph.Graph {
+			if r.Intn(2) == 0 {
+				return hypergraph.Lollipop(2 + r.Intn(2))
+			}
+			return hypergraph.Dumbbell(2, 4+r.Intn(2))
+		}},
+	}
+	for _, cfg := range configs {
+		maxOut := int64(0)
+		for trial := 0; trial < trials; trial++ {
+			m := []int{4, 8, 16}[rng.Intn(3)]
+			d := extmem.NewDisk(extmem.Config{M: m, B: 2 + rng.Intn(3)})
+			g := cfg.gen(rng)
+			in := randomVerifyInstance(d, rng, g, 5+rng.Intn(30), 2+rng.Intn(3))
+			want, err := oracleSet(g, in)
+			if err != nil {
+				return nil, err
+			}
+			if int64(len(want)) > maxOut {
+				maxOut = int64(len(want))
+			}
+			// All strategies on the raw instance.
+			for _, s := range []core.Strategy{core.StrategyFirst, core.StrategySmallest, core.StrategyExhaustive} {
+				got, err := runSet(g, in, core.Options{Strategy: s})
+				if err != nil {
+					return nil, fmt.Errorf("%s trial %d strategy %v: %w", cfg.name, trial, s, err)
+				}
+				if err := sameSet(got, want); err != nil {
+					return nil, fmt.Errorf("%s trial %d strategy %v on %v: %w", cfg.name, trial, s, g, err)
+				}
+			}
+			// Ablation variant.
+			got, err := runSet(g, in, core.Options{Strategy: core.StrategySmallest, DisableHeavySplit: true})
+			if err != nil {
+				return nil, err
+			}
+			if err := sameSet(got, want); err != nil {
+				return nil, fmt.Errorf("%s trial %d no-split on %v: %w", cfg.name, trial, g, err)
+			}
+			// Reduced path + line dispatcher where applicable.
+			red, err := reducer.FullReduce(g, in)
+			if err != nil {
+				return nil, err
+			}
+			if _, isLine := g.AsLine(); isLine && g.NumEdges() >= 3 {
+				var lines []string
+				_, err := core.RunLine(g, red, func(a tuple.Assignment) {
+					lines = append(lines, a.String())
+				}, core.Options{Strategy: core.StrategySmallest, AssumeReduced: true})
+				if err != nil {
+					return nil, err
+				}
+				sort.Strings(lines)
+				if err := sameSet(lines, want); err != nil {
+					return nil, fmt.Errorf("%s trial %d dispatcher on %v: %w", cfg.name, trial, g, err)
+				}
+			}
+		}
+		t.AddRow(cfg.name, trials, 0, maxOut)
+	}
+	t.Notes = append(t.Notes, "a non-zero mismatch count aborts with an error; this table printing means every check passed")
+	return t, nil
+}
+
+func oracleSet(g *hypergraph.Graph, in relation.Instance) ([]string, error) {
+	var out []string
+	err := count.Enumerate(g, in, func(a tuple.Assignment) { out = append(out, a.String()) })
+	sort.Strings(out)
+	return out, err
+}
+
+func runSet(g *hypergraph.Graph, in relation.Instance, opts core.Options) ([]string, error) {
+	var out []string
+	_, err := core.Run(g, in, func(a tuple.Assignment) { out = append(out, a.String()) }, opts)
+	sort.Strings(out)
+	return out, err
+}
+
+func sameSet(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("result %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func randomVerifyInstance(d *extmem.Disk, rng *rand.Rand, g *hypergraph.Graph, rows, domain int) relation.Instance {
+	in := relation.Instance{}
+	for _, e := range g.Edges() {
+		schema := make(tuple.Schema, len(e.Attrs))
+		copy(schema, e.Attrs)
+		seen := map[string]bool{}
+		var rs []tuple.Tuple
+		for k := 0; k < rows; k++ {
+			t := make(tuple.Tuple, len(schema))
+			for j := range t {
+				t[j] = int64(rng.Intn(domain))
+			}
+			key := fmt.Sprint(t)
+			if !seen[key] {
+				seen[key] = true
+				rs = append(rs, t)
+			}
+		}
+		in[e.ID] = relation.FromTuples(d, schema, rs)
+	}
+	return in
+}

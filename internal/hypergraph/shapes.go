@@ -1,0 +1,255 @@
+package hypergraph
+
+import "fmt"
+
+// Line returns the line query L_n of Section 6: attributes v_0..v_n (the
+// paper writes v_1..v_{n+1}) and edges e_i = {v_{i-1}, v_i} named R1..Rn.
+func Line(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("hypergraph: Line(%d)", n))
+	}
+	edges := make([]*Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = &Edge{ID: i, Name: fmt.Sprintf("R%d", i+1), Attrs: []Attr{i, i + 1}}
+	}
+	return MustNew(edges)
+}
+
+// StarQuery returns a standalone star join with k petals (Section 5): core
+// R0 over join attributes v_0..v_{k-1}, and petal R_i = {v_{i-1}, u_{i-1}}
+// where u_{i-1} = k+i-1 is the petal's unique attribute.
+func StarQuery(k int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("hypergraph: StarQuery(%d)", k))
+	}
+	core := &Edge{ID: 0, Name: "R0"}
+	for i := 0; i < k; i++ {
+		core.Attrs = append(core.Attrs, i)
+	}
+	edges := []*Edge{core}
+	for i := 0; i < k; i++ {
+		edges = append(edges, &Edge{
+			ID:    i + 1,
+			Name:  fmt.Sprintf("R%d", i+1),
+			Attrs: []Attr{i, k + i},
+		})
+	}
+	return MustNew(edges)
+}
+
+// Lollipop returns the lollipop join of Section 7.2: a star with core e_0
+// (edge ID 0) over join attributes v_0..v_{n-1}, petals e_1..e_{n-1} on
+// v_1..v_{n-1} (each with a unique attribute), petal e_n = {v_0, v_n}, and
+// the tail e_{n+1} = {v_n, u} extending petal e_n. Edge IDs follow the
+// paper's indices 0..n+1.
+func Lollipop(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("hypergraph: Lollipop(%d): need at least 2 petals", n))
+	}
+	// Attributes: v_0..v_{n-1} core join attrs; v_n the e_n/e_{n+1} join
+	// attr; unique attributes allocated after that.
+	next := n + 1
+	core := &Edge{ID: 0, Name: "R0"}
+	for i := 0; i < n; i++ {
+		core.Attrs = append(core.Attrs, i)
+	}
+	edges := []*Edge{core}
+	for i := 1; i < n; i++ {
+		edges = append(edges, &Edge{ID: i, Name: fmt.Sprintf("R%d", i), Attrs: []Attr{i, next}})
+		next++
+	}
+	// e_n connects core attr v_0 to v_n (paper: the petal extending out).
+	edges = append(edges, &Edge{ID: n, Name: fmt.Sprintf("R%d", n), Attrs: []Attr{0, n}})
+	// e_{n+1} hangs off v_n with a unique attribute.
+	edges = append(edges, &Edge{ID: n + 1, Name: fmt.Sprintf("R%d", n+1), Attrs: []Attr{n, next}})
+	return MustNew(edges)
+}
+
+// Dumbbell returns the dumbbell join of Section 7.3: two stars joined by a
+// shared petal. Star one has core e_0 (ID 0) with petals e_1..e_n; star two
+// has core e_m (ID m) with petals e_n..e_{m-1}; petal e_n = {v_0, v_m} is
+// shared (it connects the two cores). n is the number of petals of the first
+// star, m-n that of the second; edge IDs follow the paper (0..m).
+func Dumbbell(n, m int) *Graph {
+	if n < 2 || m-n < 2 {
+		panic(fmt.Sprintf("hypergraph: Dumbbell(%d,%d): each star needs >= 2 petals", n, m))
+	}
+	// Core 0 join attrs: a_1..a_n (IDs 1..n) plus none external beyond e_n.
+	// Core m join attrs: b_{n+1}..b_{m-1} and the bridge.
+	// Attribute plan:
+	//   core0 attrs: 1..n          (attr i joins petal e_i for i in 1..n-1; attr n joins bridge e_n)
+	//   corem attrs: n+1..m        (attr j joins petal e_j for j in n+1..m-1; attr m... )
+	// Bridge e_n = {n, m+1} connecting core0 (attr n) and corem (attr m+1).
+	uniq := m + 2
+	core0 := &Edge{ID: 0, Name: "R0"}
+	for i := 1; i <= n; i++ {
+		core0.Attrs = append(core0.Attrs, i)
+	}
+	corem := &Edge{ID: m, Name: fmt.Sprintf("R%d", m)}
+	for j := n + 1; j <= m-1; j++ {
+		corem.Attrs = append(corem.Attrs, j)
+	}
+	corem.Attrs = append(corem.Attrs, m+1)
+	edges := []*Edge{core0}
+	for i := 1; i <= n-1; i++ {
+		edges = append(edges, &Edge{ID: i, Name: fmt.Sprintf("R%d", i), Attrs: []Attr{i, uniq}})
+		uniq++
+	}
+	edges = append(edges, &Edge{ID: n, Name: fmt.Sprintf("R%d", n), Attrs: []Attr{n, m + 1}})
+	for j := n + 1; j <= m-1; j++ {
+		edges = append(edges, &Edge{ID: j, Name: fmt.Sprintf("R%d", j), Attrs: []Attr{j, uniq}})
+		uniq++
+	}
+	edges = append(edges, corem)
+	return MustNew(edges)
+}
+
+// AsLine reports whether g is a line join and, if so, returns the edges in
+// path order (either orientation). A line's edges each have two attributes,
+// the ends are leaves, and consecutive edges share exactly one attribute.
+func (g *Graph) AsLine() ([]*Edge, bool) {
+	n := len(g.edges)
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		e := g.edges[0]
+		if len(e.Attrs) == 2 {
+			return []*Edge{e}, true
+		}
+		return nil, false
+	}
+	for _, e := range g.edges {
+		if len(e.Attrs) != 2 {
+			return nil, false
+		}
+	}
+	if !g.IsBergeAcyclic() || !g.IsConnected() {
+		return nil, false
+	}
+	// Every attribute in <= 2 edges; exactly two edges with a degree-1 end.
+	var start *Edge
+	for _, e := range g.edges {
+		deg1 := 0
+		for _, a := range e.Attrs {
+			d := g.Degree(a)
+			if d > 2 {
+				return nil, false
+			}
+			if d == 1 {
+				deg1++
+			}
+		}
+		if deg1 >= 1 && start == nil {
+			start = e
+		}
+	}
+	if start == nil {
+		return nil, false
+	}
+	// Walk the path.
+	order := []*Edge{start}
+	used := map[int]bool{start.ID: true}
+	cur := start
+	var via Attr = -1
+	for len(order) < n {
+		next := (*Edge)(nil)
+		var nextVia Attr = -1
+		for _, a := range cur.Attrs {
+			if a == via {
+				continue
+			}
+			for _, o := range g.EdgesWith(a) {
+				if !used[o.ID] {
+					next = o
+					nextVia = a
+				}
+			}
+		}
+		if next == nil {
+			return nil, false
+		}
+		order = append(order, next)
+		used[next.ID] = true
+		cur, via = next, nextVia
+	}
+	return order, true
+}
+
+// AsStandaloneStar reports whether g is exactly one star (core + petals,
+// nothing else) and returns it.
+func (g *Graph) AsStandaloneStar() (*Star, bool) {
+	stars := g.Stars()
+	for _, s := range stars {
+		if len(s.Petals)+1 == len(g.edges) && s.External == -1 {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// JoinForest returns a rooted join forest over the edges: parent[i] is the
+// position (into Edges()) of the parent of edge i, or -1 for roots. For each
+// join attribute, all edges containing it form a connected subtree, which is
+// the property Yannakakis' semijoin passes need. The graph must be
+// Berge-acyclic.
+func (g *Graph) JoinForest() (parent []int, order []int, err error) {
+	if !g.IsBergeAcyclic() {
+		return nil, nil, fmt.Errorf("hypergraph: JoinForest on cyclic graph %v", g)
+	}
+	n := len(g.edges)
+	adj := make([][]int, n)
+	pos := map[int]int{}
+	for i, e := range g.edges {
+		pos[e.ID] = i
+	}
+	for _, a := range g.Attrs() {
+		es := g.EdgesWith(a)
+		if len(es) < 2 {
+			continue
+		}
+		// Link all edges sharing a in a star centred on the first: in a
+		// Berge-acyclic graph this yields a forest and keeps each
+		// attribute's edges connected.
+		h := pos[es[0].ID]
+		for _, o := range es[1:] {
+			j := pos[o.ID]
+			adj[h] = append(adj[h], j)
+			adj[j] = append(adj[j], h)
+		}
+	}
+	parent = make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	for r := 0; r < n; r++ {
+		if parent[r] != -2 {
+			continue
+		}
+		parent[r] = -1
+		stack := []int{r}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, u)
+			for _, v := range adj[u] {
+				if parent[v] == -2 {
+					parent[v] = u
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return parent, order, nil
+}
+
+// SharedAttr returns the single attribute shared by two edges of a
+// Berge-acyclic graph, or -1 if disjoint.
+func SharedAttr(a, b *Edge) Attr {
+	for _, x := range a.Attrs {
+		if b.Has(x) {
+			return x
+		}
+	}
+	return -1
+}

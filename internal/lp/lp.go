@@ -1,0 +1,205 @@
+// Package lp provides a small dense two-phase primal simplex solver,
+// sufficient for the constant-size linear programs this repository needs:
+// fractional edge covers of query hypergraphs (minimize Σ x_e·log N_e
+// subject to Σ_{e∋v} x_e ≥ 1, x ≥ 0), whose optima determine the AGM bound
+// (Section 2.2.1). Bland's rule is used for anti-cycling; problem sizes are
+// tiny, so numerical sophistication beyond a fixed tolerance is unnecessary.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the numerical tolerance used by the solver.
+const Eps = 1e-9
+
+// ErrInfeasible is returned when the constraints admit no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// SolveMinGE minimizes c·x subject to A·x ≥ b and x ≥ 0.
+// A has one row per constraint; len(b) == len(A); len(c) == len(A[i]).
+// It returns an optimal x and the objective value.
+func SolveMinGE(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m := len(a)
+	n := len(c)
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("lp: %d rows but %d bounds", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+	// Standard form: A·x − s = b with surplus s ≥ 0, plus artificials t ≥ 0:
+	// A·x − s + t = b (after flipping rows so b ≥ 0).
+	// Columns: [x (n) | s (m) | t (m)], rows: m constraints.
+	cols := n + 2*m
+	tab := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, cols+1)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			tab[i][j] = sign * a[i][j]
+		}
+		tab[i][n+i] = sign * -1.0 // surplus
+		tab[i][n+m+i] = 1.0       // artificial
+		tab[i][cols] = sign * b[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	obj := make([]float64, cols)
+	for i := 0; i < m; i++ {
+		obj[n+m+i] = 1
+	}
+	val, err := simplex(tab, basis, obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	if val > Eps {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any artificials out of the basis (degenerate rows).
+	for i, bv := range basis {
+		if bv < n+m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+m; j++ {
+			if math.Abs(tab[i][j]) > Eps {
+				pivot(tab, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless.
+			_ = pivoted
+		}
+	}
+
+	// Phase 2: original objective; forbid artificials by huge cost guard —
+	// they are out of the basis or stuck at zero in redundant rows.
+	obj2 := make([]float64, cols)
+	copy(obj2, c)
+	for i := 0; i < m; i++ {
+		obj2[n+m+i] = math.Inf(1) // never re-enter
+	}
+	val2, err := simplex(tab, basis, obj2)
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][cols]
+		}
+	}
+	return x, val2, nil
+}
+
+// simplex runs the primal simplex on the tableau with the given basis and
+// objective, returning the optimal objective value. The tableau rows are
+// modified in place; basis is updated.
+func simplex(tab [][]float64, basis []int, obj []float64) (float64, error) {
+	m := len(tab)
+	cols := len(obj)
+	// Reduced costs: z_j − c_j computed on demand from the basis.
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return 0, errors.New("lp: iteration limit exceeded")
+		}
+		// cB: objective coefficients of the basis.
+		enter := -1
+		var bestRC float64
+		for j := 0; j < cols; j++ {
+			if math.IsInf(obj[j], 1) {
+				continue // barred column
+			}
+			inBasis := false
+			for _, bv := range basis {
+				if bv == j {
+					inBasis = true
+					break
+				}
+			}
+			if inBasis {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < m; i++ {
+				cb := obj[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0 // artificial stuck at zero contributes nothing
+				}
+				rc -= cb * tab[i][j]
+			}
+			if rc < -Eps {
+				// Bland: smallest index; keep first found.
+				enter = j
+				bestRC = rc
+				break
+			}
+		}
+		_ = bestRC
+		if enter == -1 {
+			break // optimal
+		}
+		// Ratio test (Bland tie-break on smallest basis var).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > Eps {
+				ratio := tab[i][len(tab[i])-1] / tab[i][enter]
+				if ratio < best-Eps || (ratio < best+Eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+	}
+	val := 0.0
+	for i, bv := range basis {
+		cb := obj[bv]
+		if math.IsInf(cb, 1) {
+			cb = 0
+		}
+		val += cb * tab[i][len(tab[i])-1]
+	}
+	return val, nil
+}
+
+func pivot(tab [][]float64, basis []int, row, col int) {
+	p := tab[row][col]
+	for j := range tab[row] {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,135 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleCover(t *testing.T) {
+	// min x1+x2 s.t. x1 >= 1, x2 >= 1.
+	x, v, err := SolveMinGE(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {0, 1}},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 2) || !approx(x[0], 1) || !approx(x[1], 1) {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}
+
+func TestTriangleFractionalCover(t *testing.T) {
+	// Triangle query: 3 attrs, 3 edges each covering 2 attrs.
+	// min x1+x2+x3 s.t. each attr covered: optimum 3/2 at (1/2,1/2,1/2).
+	a := [][]float64{
+		{1, 1, 0}, // attr covered by e1,e2
+		{1, 0, 1},
+		{0, 1, 1},
+	}
+	x, v, err := SolveMinGE([]float64{1, 1, 1}, a, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 1.5) {
+		t.Fatalf("v=%v, want 1.5 (x=%v)", v, x)
+	}
+}
+
+func TestLineCoverWeighted(t *testing.T) {
+	// L3 with sizes: minimize x1*lnN1 + x2*lnN2 + x3*lnN3 with attrs
+	// v1..v4: v1 in e1; v2 in e1,e2; v3 in e2,e3; v4 in e3.
+	// The cover must set x1=x3=1; x2 free -> 0. Objective = ln(N1*N3).
+	lnN := []float64{math.Log(100), math.Log(1000), math.Log(50)}
+	a := [][]float64{
+		{1, 0, 0},
+		{1, 1, 0},
+		{0, 1, 1},
+		{0, 0, 1},
+	}
+	x, v, err := SolveMinGE(lnN, a, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 1) || !approx(x[1], 0) || !approx(x[2], 1) {
+		t.Fatalf("x=%v", x)
+	}
+	if !approx(v, math.Log(100*50)) {
+		t.Fatalf("v=%v", v)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 >= 1 and -x1 >= 0 (i.e. x1 <= 0): infeasible.
+	_, _, err := SolveMinGE([]float64{1}, [][]float64{{1}, {-1}}, []float64{1, 0.5})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x1 s.t. x1 >= 0 constraint only: unbounded below.
+	_, _, err := SolveMinGE([]float64{-1}, [][]float64{{1}}, []float64{0})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	if _, _, err := SolveMinGE([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+	if _, _, err := SolveMinGE([]float64{1, 2}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("row width mismatch accepted")
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate constraints should not break phase 1 cleanup.
+	a := [][]float64{{1, 1}, {1, 1}, {1, 0}}
+	x, v, err := SolveMinGE([]float64{2, 1}, a, []float64{1, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: x1=0.5 (forced), x2=0.5 to cover row 1: obj = 1.5.
+	if !approx(v, 1.5) {
+		t.Fatalf("v=%v x=%v", v, x)
+	}
+}
+
+func TestNegativeBounds(t *testing.T) {
+	// A constraint with negative b is vacuous for x >= 0 with positive A.
+	x, v, err := SolveMinGE([]float64{1}, [][]float64{{1}}, []float64{-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 0) || !approx(x[0], 0) {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}
+
+func TestStarCover(t *testing.T) {
+	// Star with 3 petals: core covers v1..v3, petal i covers v_i and u_i.
+	// Petals must be 1 (unique attrs); core then redundant -> 0.
+	// Objective with equal logs: 3.
+	a := [][]float64{
+		// attrs: v1,v2,v3,u1,u2,u3; vars: core, p1, p2, p3
+		{1, 1, 0, 0},
+		{1, 0, 1, 0},
+		{1, 0, 0, 1},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+	x, v, err := SolveMinGE([]float64{1, 1, 1, 1}, a, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 3) || !approx(x[0], 0) {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}

@@ -1,0 +1,148 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"acyclicjoin/internal/tuple"
+)
+
+// Semijoin computes r ⋉ s on the shared attribute a by a merge scan. Both
+// views must be sorted by a. The result is a new relation with r's schema,
+// sorted the same way as r. Cost: one scan of each input plus the output
+// writes.
+func Semijoin(r, s *Relation, a tuple.Attr) (*Relation, error) {
+	if !r.SortedByAttr(a) || !s.SortedByAttr(a) {
+		return nil, fmt.Errorf("relation: Semijoin on views not sorted by v%d", a)
+	}
+	rc, sc := r.Col(a), s.Col(a)
+	out := New(r.Disk(), r.schema)
+	w := out.file.NewWriter()
+	rr, sr := r.Reader(), s.Reader()
+	st := sr.Next()
+	for rt := rr.Next(); rt != nil; rt = rr.Next() {
+		for st != nil && st[sc] < rt[rc] {
+			st = sr.Next()
+		}
+		if st != nil && st[sc] == rt[rc] {
+			w.Append(rt)
+		}
+	}
+	w.Close()
+	out.n = out.file.Len()
+	out.sortCols = r.sortCols
+	return out, nil
+}
+
+// SemijoinValues computes r ⋉ V where V is an in-memory set of values on
+// attribute a (e.g. the distinct values of a loaded chunk, for computing
+// R(e')(M1) in Algorithm 2). r need not be sorted. One scan plus output.
+func SemijoinValues(r *Relation, a tuple.Attr, vals map[int64]bool) (*Relation, error) {
+	c := r.Col(a)
+	out := New(r.Disk(), r.schema)
+	w := out.file.NewWriter()
+	rd := r.Reader()
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		if vals[t[c]] {
+			w.Append(t)
+		}
+	}
+	w.Close()
+	out.n = out.file.Len()
+	out.sortCols = r.sortCols
+	return out, nil
+}
+
+// AntiSemijoinValues computes r ▷ V: tuples of r whose a-value is NOT in the
+// set. Used to peel light tuples away from heavy ones without re-sorting.
+func AntiSemijoinValues(r *Relation, a tuple.Attr, vals map[int64]bool) (*Relation, error) {
+	c := r.Col(a)
+	out := New(r.Disk(), r.schema)
+	w := out.file.NewWriter()
+	rd := r.Reader()
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		if !vals[t[c]] {
+			w.Append(t)
+		}
+	}
+	w.Close()
+	out.n = out.file.Len()
+	out.sortCols = r.sortCols
+	return out, nil
+}
+
+// Project returns the projection of r onto the given attributes with
+// duplicates removed (sort-based). The result is sorted by the projected
+// columns.
+func Project(r *Relation, attrs []tuple.Attr) (*Relation, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = r.Col(a)
+	}
+	schema := make(tuple.Schema, len(attrs))
+	copy(schema, attrs)
+	tmp := New(r.Disk(), schema)
+	w := tmp.file.NewWriter()
+	rd := r.Reader()
+	buf := make(tuple.Tuple, len(cols))
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		w.Append(buf)
+	}
+	w.Close()
+	tmp.n = tmp.file.Len()
+	return tmp.SortDedupBy(attrs...)
+}
+
+// DistinctValues returns the sorted distinct values of attribute a,
+// materialized in memory. Only for use where the count is known to be small
+// (the caller accounts memory); cost is one scan if sorted by a, else a sort.
+func DistinctValues(r *Relation, a tuple.Attr) ([]int64, error) {
+	s := r
+	if !r.SortedByAttr(a) {
+		var err error
+		s, err = r.SortBy(a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []int64
+	err := s.Groups(a, func(g Group) error {
+		out = append(out, g.Value)
+		return nil
+	})
+	return out, err
+}
+
+// Contents drains the view into memory for verification in tests (charges
+// the scan). Not for algorithm code.
+func Contents(r *Relation) []tuple.Tuple {
+	var out []tuple.Tuple
+	r.Scan(func(t tuple.Tuple) { out = append(out, tuple.Clone(t)) })
+	return out
+}
+
+// SortTuples orders in-memory rows lexicographically; test helper shared by
+// several packages.
+func SortTuples(rows []tuple.Tuple) {
+	sort.Slice(rows, func(i, j int) bool { return tuple.CompareFull(rows[i], rows[j]) < 0 })
+}
+
+// Equal reports whether two relations hold the same tuple multiset, ignoring
+// order but respecting schema column order. Test helper; charges scans.
+func Equal(a, b *Relation) bool {
+	if !a.Schema().Equal(b.Schema()) || a.Len() != b.Len() {
+		return false
+	}
+	at, bt := Contents(a), Contents(b)
+	SortTuples(at)
+	SortTuples(bt)
+	for i := range at {
+		if tuple.CompareFull(at[i], bt[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

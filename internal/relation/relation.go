@@ -1,0 +1,430 @@
+// Package relation provides relations stored on the simulated disk and the
+// access-path primitives the paper's algorithms are written in terms of
+// (Section 2.3): sorting by an attribute, splitting into heavy and light
+// values with respect to the memory size M, restriction views R(e)|v=a,
+// chunked memory loading ("load R(e) [by v] into memory as M(e)"), and
+// sort-merge semijoins.
+//
+// A Relation is a view over a contiguous tuple range of an extmem.File
+// together with its schema and (optionally) the attribute order it is sorted
+// by. Restrictions of a sorted relation are zero-copy sub-views, so
+// Algorithm 2's recursive calls on R(e')|v=a cost no I/O to set up and only
+// pay sequential reads proportional to what they scan.
+package relation
+
+import (
+	"fmt"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extsort"
+	"acyclicjoin/internal/tuple"
+)
+
+// Relation is a (view of a) relation on the simulated disk.
+type Relation struct {
+	schema tuple.Schema
+	file   *extmem.File
+	off, n int
+	// sortCols is the column-position order the underlying range is known
+	// to be sorted by (a full lexicographic order when non-nil).
+	sortCols []int
+}
+
+// New returns an empty relation with the given schema.
+func New(d *extmem.Disk, schema tuple.Schema) *Relation {
+	return &Relation{schema: schema.Clone(), file: d.NewFile(len(schema))}
+}
+
+// FromTuples builds a relation from in-memory rows, charging the writes.
+func FromTuples(d *extmem.Disk, schema tuple.Schema, rows []tuple.Tuple) *Relation {
+	r := New(d, schema)
+	w := r.file.NewWriter()
+	for _, t := range rows {
+		w.Append(t)
+	}
+	w.Close()
+	r.n = len(rows)
+	return r
+}
+
+// Builder appends tuples to a fresh relation.
+type Builder struct {
+	r *Relation
+	w *extmem.Writer
+}
+
+// NewBuilder returns a builder for a new relation with the given schema.
+func NewBuilder(d *extmem.Disk, schema tuple.Schema) *Builder {
+	r := New(d, schema)
+	return &Builder{r: r, w: r.file.NewWriter()}
+}
+
+// Add appends one tuple (copied).
+func (b *Builder) Add(t tuple.Tuple) { b.w.Append(t) }
+
+// Finish closes the builder and returns the relation.
+func (b *Builder) Finish() *Relation {
+	b.w.Close()
+	b.r.n = b.r.file.Len()
+	return b.r
+}
+
+// Schema returns the relation's schema. Callers must not mutate.
+func (r *Relation) Schema() tuple.Schema { return r.schema }
+
+// Len returns the number of tuples in the view.
+func (r *Relation) Len() int { return r.n }
+
+// Disk returns the underlying simulated disk.
+func (r *Relation) Disk() *extmem.Disk { return r.file.Disk() }
+
+// SortCols returns the column order the view is sorted by, or nil.
+func (r *Relation) SortCols() []int { return r.sortCols }
+
+// SortedByAttr reports whether the view is sorted with attribute a leading.
+func (r *Relation) SortedByAttr(a tuple.Attr) bool {
+	if len(r.sortCols) == 0 {
+		return false
+	}
+	c := r.schema.IndexOf(a)
+	return c >= 0 && r.sortCols[0] == c
+}
+
+// Col returns the column position of attribute a, panicking if absent.
+func (r *Relation) Col(a tuple.Attr) int {
+	c := r.schema.IndexOf(a)
+	if c < 0 {
+		panic(fmt.Sprintf("relation: attribute v%d not in schema %v", a, r.schema))
+	}
+	return c
+}
+
+// Reader returns a sequential reader over the view.
+func (r *Relation) Reader() *extmem.Reader { return r.file.NewRangeReader(r.off, r.n) }
+
+// Blocks returns how many blocks a full scan of the view touches.
+func (r *Relation) Blocks() int64 {
+	b := int64(r.Disk().B())
+	return (int64(r.n) + b - 1) / b
+}
+
+// View returns the sub-view of tuples [lo, lo+n) of r (relative indices),
+// inheriting sortedness.
+func (r *Relation) View(lo, n int) *Relation {
+	if lo < 0 || n < 0 || lo+n > r.n {
+		panic(fmt.Sprintf("relation: View(%d,%d) out of bounds (len %d)", lo, n, r.n))
+	}
+	return &Relation{schema: r.schema, file: r.file, off: r.off + lo, n: n, sortCols: r.sortCols}
+}
+
+// Scan calls fn for each tuple of the view, charging sequential reads.
+// The tuple passed to fn aliases disk storage; copy it to keep it.
+func (r *Relation) Scan(fn func(t tuple.Tuple)) {
+	rd := r.Reader()
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		fn(t)
+	}
+}
+
+// keyOrder returns the full lexicographic column order putting the given
+// attributes' columns first, followed by the remaining columns.
+func (r *Relation) keyOrder(attrs []tuple.Attr) []int {
+	used := make([]bool, len(r.schema))
+	order := make([]int, 0, len(r.schema))
+	for _, a := range attrs {
+		c := r.Col(a)
+		if used[c] {
+			continue
+		}
+		used[c] = true
+		order = append(order, c)
+	}
+	for c := range r.schema {
+		if !used[c] {
+			order = append(order, c)
+		}
+	}
+	return order
+}
+
+// SortBy returns a relation with the same tuples sorted by the given
+// attributes first (then all remaining columns, so the order is total).
+// If the view is already sorted compatibly it is returned unchanged.
+func (r *Relation) SortBy(attrs ...tuple.Attr) (*Relation, error) {
+	return r.sortBy(attrs, false)
+}
+
+// SortDedupBy is SortBy but also removes duplicate tuples (set semantics).
+func (r *Relation) SortDedupBy(attrs ...tuple.Attr) (*Relation, error) {
+	return r.sortBy(attrs, true)
+}
+
+func (r *Relation) sortBy(attrs []tuple.Attr, dedup bool) (*Relation, error) {
+	order := r.keyOrder(attrs)
+	if !dedup && len(r.sortCols) >= len(order) {
+		match := true
+		for i := range order {
+			if r.sortCols[i] != order[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return r, nil
+		}
+	}
+	// Materialize the view into its own file via the sorter.
+	src := r.file
+	if r.off != 0 || r.n != r.file.Len() {
+		var err error
+		src, err = r.copyRange()
+		if err != nil {
+			return nil, err
+		}
+	}
+	cmp := extsort.ByCols(order)
+	var out *extmem.File
+	var err error
+	if dedup {
+		out, err = extsort.SortDedup(src, cmp)
+	} else {
+		out, err = extsort.Sort(src, cmp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: r.schema, file: out, off: 0, n: out.Len(), sortCols: order}, nil
+}
+
+// copyRange materializes the view window into a fresh file (scan + write).
+func (r *Relation) copyRange() (*extmem.File, error) {
+	out := r.file.Disk().NewFile(len(r.schema))
+	w := out.NewWriter()
+	rd := r.Reader()
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		w.Append(t)
+	}
+	w.Close()
+	return out, nil
+}
+
+// Materialize returns a relation backed by its own file covering exactly the
+// view (useful before handing a restriction to code that appends).
+func (r *Relation) Materialize() (*Relation, error) {
+	if r.off == 0 && r.n == r.file.Len() {
+		return r, nil
+	}
+	f, err := r.copyRange()
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: r.schema, file: f, n: f.Len(), sortCols: r.sortCols}, nil
+}
+
+// WithSortOrder returns a view identical to r but declared sorted by the
+// given column order. The caller asserts validity; the intended use is a
+// restriction view whose leading sort column is constant, which makes the
+// view sorted by the remaining columns (e.g. R2|v2=a of Algorithm 1 is
+// sorted by v3 when R2 is sorted by (v2, v3)).
+func (r *Relation) WithSortOrder(cols []int) *Relation {
+	out := *r
+	out.sortCols = append([]int{}, cols...)
+	return &out
+}
+
+// Group is a maximal run of tuples sharing one value on the grouping column.
+type Group struct {
+	Value int64
+	// Rel is the zero-copy view of the group's tuples.
+	Rel *Relation
+}
+
+// Groups scans a view sorted by attribute a and calls fn for each value
+// group, in order. It charges one sequential read of the view. fn receives
+// a zero-copy sub-view per group.
+func (r *Relation) Groups(a tuple.Attr, fn func(g Group) error) error {
+	if !r.SortedByAttr(a) {
+		return fmt.Errorf("relation: Groups(v%d) on view not sorted by it (sortCols=%v)", a, r.sortCols)
+	}
+	c := r.Col(a)
+	rd := r.Reader()
+	start := 0
+	var cur int64
+	have := false
+	i := 0
+	for t := rd.Next(); t != nil; t = rd.Next() {
+		if !have {
+			cur, have = t[c], true
+		} else if t[c] != cur {
+			if err := fn(Group{Value: cur, Rel: r.View(start, i-start)}); err != nil {
+				return err
+			}
+			start, cur = i, t[c]
+		}
+		i++
+	}
+	if have {
+		if err := fn(Group{Value: cur, Rel: r.View(start, i-start)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FindRange locates the tuple range with value v on attribute a in a view
+// sorted by a, via binary search over blocks (O(log(n/B)) random reads).
+// It returns a zero-copy view (possibly empty).
+func (r *Relation) FindRange(a tuple.Attr, v int64) *Relation {
+	c := r.Col(a)
+	if !r.SortedByAttr(a) {
+		panic(fmt.Sprintf("relation: FindRange(v%d) on unsorted view", a))
+	}
+	lo := r.lowerBound(c, v)
+	hi := r.lowerBound(c, v+1)
+	return r.View(lo, hi-lo)
+}
+
+// lowerBound returns the smallest relative index i with tuple[c] >= v,
+// probing one tuple per step through block reads amortized by the reader's
+// block charging (each probe charges at most one block read).
+func (r *Relation) lowerBound(c int, v int64) int {
+	lo, hi := 0, r.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t := r.probe(mid)
+		if t[c] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// probe reads the tuple at relative index i, charging one block read.
+func (r *Relation) probe(i int) tuple.Tuple {
+	abs := r.off + i
+	b := r.Disk().B()
+	blk := r.file.ReadBlock(abs / b)
+	return blk[abs%b]
+}
+
+// Heavy reports the split of Section 2.3: given a view sorted by a, it
+// returns the heavy value groups (N(e)|v=a >= M) and a new relation holding
+// all light tuples (still sorted by a). One scan plus the light rewrite.
+func (r *Relation) Heavy(a tuple.Attr) (heavy []Group, light *Relation, err error) {
+	m := r.Disk().M()
+	lightRel := New(r.Disk(), r.schema)
+	w := lightRel.file.NewWriter()
+	err = r.Groups(a, func(g Group) error {
+		if g.Rel.Len() >= m {
+			heavy = append(heavy, g)
+			return nil
+		}
+		rd := g.Rel.Reader()
+		for t := rd.Next(); t != nil; t = rd.Next() {
+			w.Append(t)
+		}
+		return nil
+	})
+	w.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	lightRel.n = lightRel.file.Len()
+	lightRel.sortCols = r.sortCols
+	return heavy, lightRel, nil
+}
+
+// Chunk is an in-memory load of tuples, with the memory accounted until
+// Release is called.
+type Chunk struct {
+	// Tuples are the loaded rows (copies, safe to keep until Release).
+	Tuples []tuple.Tuple
+	// Values is the set of distinct values on the grouping attribute when
+	// the chunk was loaded "by v"; nil for plain chunk loads.
+	Values map[int64]bool
+	disk   *extmem.Disk
+	held   int
+}
+
+// Release returns the chunk's memory to the accountant.
+func (c *Chunk) Release() {
+	if c.held > 0 {
+		c.disk.Release(c.held)
+		c.held = 0
+	}
+}
+
+// LoadChunks implements "load R(e) into memory as M(e)": it reads the view
+// in chunks of M tuples and calls fn for each. The chunk is released after
+// fn returns unless fn retains it by returning an error.
+func (r *Relation) LoadChunks(fn func(c *Chunk) error) error {
+	d := r.Disk()
+	m := d.M()
+	rd := r.Reader()
+	for rd.Remaining() > 0 {
+		if err := d.Grab(m); err != nil {
+			return err
+		}
+		c := &Chunk{disk: d, held: m}
+		for len(c.Tuples) < m {
+			t := rd.Next()
+			if t == nil {
+				break
+			}
+			c.Tuples = append(c.Tuples, tuple.Clone(t))
+		}
+		err := fn(c)
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadChunksBy implements "load R(e) by v into memory as M(e)" for light
+// values (Section 2.3): whole value groups are loaded until at least M
+// tuples are in memory (at most 2M when every group is light). The view
+// must be sorted by a.
+func (r *Relation) LoadChunksBy(a tuple.Attr, fn func(c *Chunk) error) error {
+	if !r.SortedByAttr(a) {
+		return fmt.Errorf("relation: LoadChunksBy(v%d) on view not sorted by it", a)
+	}
+	d := r.Disk()
+	m := d.M()
+	c0 := r.Col(a)
+	rd := r.Reader()
+	var pending tuple.Tuple // first tuple of the next group, already read
+	for rd.Remaining() > 0 || pending != nil {
+		if err := d.Grab(2 * m); err != nil {
+			return err
+		}
+		c := &Chunk{disk: d, held: 2 * m, Values: map[int64]bool{}}
+		if pending != nil {
+			c.Tuples = append(c.Tuples, pending)
+			c.Values[pending[c0]] = true
+			pending = nil
+		}
+		for {
+			t := rd.Next()
+			if t == nil {
+				break
+			}
+			v := t[c0]
+			if len(c.Tuples) >= m && !c.Values[v] {
+				pending = tuple.Clone(t)
+				break
+			}
+			c.Tuples = append(c.Tuples, tuple.Clone(t))
+			c.Values[v] = true
+		}
+		err := fn(c)
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

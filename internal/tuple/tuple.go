@@ -1,0 +1,212 @@
+// Package tuple provides the value-level vocabulary shared by all join
+// machinery: tuples (rows of int64 values), schemas (ordered attribute-ID
+// lists), lexicographic comparators, and assignments (partial tuples over the
+// global attribute space) used by the emit model.
+//
+// Attributes are identified by small non-negative integers allocated by the
+// query layer; domains are int64 values. Using integers keeps the simulated
+// external memory compact and comparisons branch-free; the public API offers
+// a string dictionary on top.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr identifies an attribute (vertex of the query hypergraph).
+type Attr = int
+
+// Tuple is one row: a value per schema position.
+type Tuple = []int64
+
+// Clone returns a copy of t.
+func Clone(t Tuple) Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Schema is an ordered list of attribute IDs naming the columns of a
+// relation or file.
+type Schema []Attr
+
+// Clone returns a copy of s.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// IndexOf returns the column position of attribute a, or -1 if absent.
+func (s Schema) IndexOf(a Attr) int {
+	for i, x := range s {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether attribute a is part of the schema.
+func (s Schema) Contains(a Attr) bool { return s.IndexOf(a) >= 0 }
+
+// Equal reports whether two schemas have identical attributes in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "v%d", a)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Compare lexicographically compares a and b on the given column positions.
+func Compare(a, b Tuple, cols []int) int {
+	for _, c := range cols {
+		switch {
+		case a[c] < b[c]:
+			return -1
+		case a[c] > b[c]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// CompareFull lexicographically compares whole tuples of equal arity.
+func CompareFull(a, b Tuple) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Key extracts the values of the given column positions from t.
+func Key(t Tuple, cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Unset is the sentinel for an attribute with no value in an Assignment.
+const Unset = int64(-1 << 62)
+
+// Assignment is a partial tuple over the global attribute space: position a
+// holds the value of attribute a, or Unset. Join results are emitted as
+// assignments covering all attributes of the (sub)query.
+type Assignment []int64
+
+// NewAssignment returns an all-Unset assignment over n attributes.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = Unset
+	}
+	return a
+}
+
+// Clone returns a copy of a.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// Set binds attribute at to value v. It panics if at is already bound to a
+// different value — that would indicate a join-machinery bug, since the
+// algorithms only combine tuples agreeing on shared attributes.
+func (a Assignment) Set(at Attr, v int64) {
+	if a[at] != Unset && a[at] != v {
+		panic(fmt.Sprintf("tuple: Assignment.Set: attribute v%d rebound %d -> %d", at, a[at], v))
+	}
+	a[at] = v
+}
+
+// Has reports whether attribute at is bound.
+func (a Assignment) Has(at Attr) bool { return a[at] != Unset }
+
+// Get returns the value bound to at (Unset if none).
+func (a Assignment) Get(at Attr) int64 { return a[at] }
+
+// BindTuple binds all attributes of the schema to the tuple's values.
+func (a Assignment) BindTuple(s Schema, t Tuple) {
+	for i, at := range s {
+		a.Set(at, t[i])
+	}
+}
+
+// UnbindTuple clears the attributes of the schema. Used when iterating
+// candidate tuples against a shared assignment buffer; only valid if those
+// attributes were bound by the matching BindTuple.
+func (a Assignment) UnbindTuple(s Schema) {
+	for _, at := range s {
+		a[at] = Unset
+	}
+}
+
+// Project returns the values of the schema's attributes, in schema order.
+// All requested attributes must be bound.
+func (a Assignment) Project(s Schema) Tuple {
+	out := make(Tuple, len(s))
+	for i, at := range s {
+		v := a[at]
+		if v == Unset {
+			panic(fmt.Sprintf("tuple: Assignment.Project: attribute v%d unbound", at))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CoveredBy reports whether every bound attribute of a is bound to the same
+// value in b.
+func (a Assignment) CoveredBy(b Assignment) bool {
+	for i, v := range a {
+		if v != Unset && b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (a Assignment) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range a {
+		if v == Unset {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "v%d=%d", i, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

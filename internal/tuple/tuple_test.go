@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaIndexOfContains(t *testing.T) {
+	s := Schema{3, 1, 4}
+	if got := s.IndexOf(1); got != 1 {
+		t.Errorf("IndexOf(1) = %d, want 1", got)
+	}
+	if got := s.IndexOf(9); got != -1 {
+		t.Errorf("IndexOf(9) = %d, want -1", got)
+	}
+	if !s.Contains(4) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSchemaEqualClone(t *testing.T) {
+	s := Schema{1, 2, 3}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = 9
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if s.Equal(Schema{1, 2}) {
+		t.Fatal("length mismatch reported equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	if got := (Schema{0, 2}).String(); got != "(v0,v2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Tuple{1, 5, 3}
+	b := Tuple{1, 4, 9}
+	if Compare(a, b, []int{0}) != 0 {
+		t.Error("equal on col 0")
+	}
+	if Compare(a, b, []int{0, 1}) != 1 {
+		t.Error("a > b on cols 0,1")
+	}
+	if Compare(b, a, []int{1, 2}) != -1 {
+		t.Error("b < a on cols 1,2")
+	}
+	if CompareFull(a, a) != 0 {
+		t.Error("CompareFull self")
+	}
+	if CompareFull(a, b) != 1 || CompareFull(b, a) != -1 {
+		t.Error("CompareFull ordering")
+	}
+}
+
+func TestKeyClone(t *testing.T) {
+	a := Tuple{10, 20, 30}
+	k := Key(a, []int{2, 0})
+	if k[0] != 30 || k[1] != 10 {
+		t.Errorf("Key = %v", k)
+	}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 10 {
+		t.Error("Clone aliases source")
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment(4)
+	for i := 0; i < 4; i++ {
+		if a.Has(i) {
+			t.Fatalf("attr %d bound in fresh assignment", i)
+		}
+	}
+	a.Set(2, 42)
+	if !a.Has(2) || a.Get(2) != 42 {
+		t.Fatal("Set/Get broken")
+	}
+	a.Set(2, 42) // same value OK
+	if got := a.String(); got != "{v2=42}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAssignmentRebindPanics(t *testing.T) {
+	a := NewAssignment(2)
+	a.Set(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rebind did not panic")
+		}
+	}()
+	a.Set(0, 2)
+}
+
+func TestBindUnbindProject(t *testing.T) {
+	a := NewAssignment(5)
+	s := Schema{1, 3}
+	a.BindTuple(s, Tuple{7, 8})
+	got := a.Project(s)
+	if got[0] != 7 || got[1] != 8 {
+		t.Errorf("Project = %v", got)
+	}
+	a.UnbindTuple(s)
+	if a.Has(1) || a.Has(3) {
+		t.Error("UnbindTuple left bindings")
+	}
+}
+
+func TestProjectUnboundPanics(t *testing.T) {
+	a := NewAssignment(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("project of unbound attribute did not panic")
+		}
+	}()
+	a.Project(Schema{0})
+}
+
+func TestCoveredBy(t *testing.T) {
+	a := NewAssignment(3)
+	b := NewAssignment(3)
+	a.Set(0, 5)
+	b.Set(0, 5)
+	b.Set(1, 6)
+	if !a.CoveredBy(b) {
+		t.Error("a should be covered by b")
+	}
+	if b.CoveredBy(a) {
+		t.Error("b should not be covered by a")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with CompareFull on all
+// columns.
+func TestCompareProperty(t *testing.T) {
+	f := func(x, y [4]int8) bool {
+		a := Tuple{int64(x[0]), int64(x[1]), int64(x[2]), int64(x[3])}
+		b := Tuple{int64(y[0]), int64(y[1]), int64(y[2]), int64(y[3])}
+		cols := []int{0, 1, 2, 3}
+		return Compare(a, b, cols) == -Compare(b, a, cols) &&
+			Compare(a, b, cols) == CompareFull(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package workload generates the instances the experiments run on: the
+// paper's worst-case constructions (Figure 3; Theorems 4, 5, 6, 7; the
+// unbalanced cases of Section 6.3; the lollipop/dumbbell constructions of
+// Section 7) and randomized instances (uniform, Zipf-skewed) for correctness
+// and average-case measurements.
+//
+// The central primitive is CrossInstance: assign each attribute a domain
+// size and make every relation the cross product of its attributes' domains.
+// All of the paper's lower-bound instances are cross instances, sometimes
+// with one relation replaced by an explicit mapping. Generators report
+// realized relation sizes via relation.Instance.Sizes so bound formulas use
+// actual cardinalities.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// CrossInstance builds, for every edge of g, the cross product of its
+// attributes' domains: attribute a takes values 0..domSize[a]-1. Every
+// attribute of g must have a positive domain size. Cross instances are
+// fully reduced by construction.
+func CrossInstance(d *extmem.Disk, g *hypergraph.Graph, domSize map[hypergraph.Attr]int) (relation.Instance, error) {
+	in := relation.Instance{}
+	for _, e := range g.Edges() {
+		sizes := make([]int, len(e.Attrs))
+		for i, a := range e.Attrs {
+			z, ok := domSize[a]
+			if !ok || z <= 0 {
+				return nil, fmt.Errorf("workload: attribute v%d needs a positive domain size", a)
+			}
+			sizes[i] = z
+		}
+		schema := append(tuple.Schema{}, e.Attrs...)
+		b := relation.NewBuilder(d, schema)
+		t := make(tuple.Tuple, len(sizes))
+		var emitAll func(i int)
+		emitAll = func(i int) {
+			if i == len(sizes) {
+				b.Add(t)
+				return
+			}
+			for v := 0; v < sizes[i]; v++ {
+				t[i] = int64(v)
+				emitAll(i + 1)
+			}
+		}
+		emitAll(0)
+		in[e.ID] = b.Finish()
+	}
+	return in, nil
+}
+
+// MappingKind selects the shape of a binary mapping relation.
+type MappingKind int
+
+const (
+	// OneToOne pairs value i with value i (padded cyclically).
+	OneToOne MappingKind = iota
+	// OneToMany maps each left value to a contiguous run of right values.
+	OneToMany
+	// ManyToOne maps runs of left values onto single right values.
+	ManyToOne
+)
+
+// Mapping builds a binary relation over (from, to) of exactly size tuples
+// mapping a left domain of fromDom values onto a right domain of toDom
+// values, surjectively on both sides where the kind permits. Used for the
+// paper's "one-to-many matching" / "many-to-one mapping" constructions.
+func Mapping(d *extmem.Disk, from, to hypergraph.Attr, fromDom, toDom, size int, kind MappingKind) *relation.Relation {
+	b := relation.NewBuilder(d, tuple.Schema{from, to})
+	switch kind {
+	case OneToOne:
+		for i := 0; i < size; i++ {
+			b.Add(tuple.Tuple{int64(i % fromDom), int64(i % toDom)})
+		}
+	case OneToMany:
+		for i := 0; i < size; i++ {
+			b.Add(tuple.Tuple{int64(i % fromDom), int64(i % toDom)})
+		}
+	case ManyToOne:
+		for i := 0; i < size; i++ {
+			b.Add(tuple.Tuple{int64(i % fromDom), int64((i * toDom / size) % toDom)})
+		}
+	}
+	return b.Finish()
+}
+
+// UniformPairs builds a binary relation of n distinct uniform-random pairs
+// over the given domain sizes (n is capped at the domain product).
+func UniformPairs(d *extmem.Disk, rng *rand.Rand, a0, a1 hypergraph.Attr, dom0, dom1, n int) *relation.Relation {
+	if max := dom0 * dom1; n > max {
+		n = max
+	}
+	seen := make(map[[2]int64]bool, n)
+	b := relation.NewBuilder(d, tuple.Schema{a0, a1})
+	for len(seen) < n {
+		p := [2]int64{int64(rng.Intn(dom0)), int64(rng.Intn(dom1))}
+		if !seen[p] {
+			seen[p] = true
+			b.Add(tuple.Tuple{p[0], p[1]})
+		}
+	}
+	return b.Finish()
+}
+
+// ZipfPairs builds a binary relation of n pairs whose left values follow an
+// (approximate) Zipf distribution with exponent s over dom0 values, and
+// uniform right values — the skewed workload exercising the heavy/light
+// machinery. Duplicates are removed, so the realized size may be below n.
+func ZipfPairs(d *extmem.Disk, rng *rand.Rand, a0, a1 hypergraph.Attr, dom0, dom1, n int, s float64) *relation.Relation {
+	// Inverse-CDF sampling over harmonic weights.
+	weights := make([]float64, dom0)
+	total := 0.0
+	for i := range weights {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		total += w
+		weights[i] = total
+	}
+	sample := func() int64 {
+		x := rng.Float64() * total
+		lo, hi := 0, dom0-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if weights[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int64(lo)
+	}
+	seen := make(map[[2]int64]bool, n)
+	b := relation.NewBuilder(d, tuple.Schema{a0, a1})
+	for i := 0; i < n; i++ {
+		p := [2]int64{sample(), int64(rng.Intn(dom1))}
+		if !seen[p] {
+			seen[p] = true
+			b.Add(tuple.Tuple{p[0], p[1]})
+		}
+	}
+	return b.Finish()
+}
+
+// LineUniform builds a random L_n instance with relations of ~rows distinct
+// uniform pairs over the given per-attribute domain.
+func LineUniform(d *extmem.Disk, rng *rand.Rand, n, rows, dom int) (*hypergraph.Graph, relation.Instance) {
+	g := hypergraph.Line(n)
+	in := relation.Instance{}
+	for i := 0; i < n; i++ {
+		in[i] = UniformPairs(d, rng, i, i+1, dom, dom, rows)
+	}
+	return g, in
+}

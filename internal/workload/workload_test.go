@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"acyclicjoin/internal/count"
+	"acyclicjoin/internal/cover"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/reducer"
+)
+
+func disk() *extmem.Disk { return extmem.NewDisk(extmem.Config{M: 64, B: 8}) }
+
+func TestCrossInstance(t *testing.T) {
+	d := disk()
+	g := hypergraph.Line(2)
+	in, err := CrossInstance(d, g, map[hypergraph.Attr]int{0: 3, 1: 2, 2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in[0].Len() != 6 || in[1].Len() != 8 {
+		t.Fatalf("sizes = %d, %d", in[0].Len(), in[1].Len())
+	}
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*2*4 {
+		t.Fatalf("join size = %d, want 24", n)
+	}
+	ok, err := reducer.IsFullyReduced(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cross instance not fully reduced")
+	}
+	if _, err := CrossInstance(d, g, map[hypergraph.Attr]int{0: 3}); err == nil {
+		t.Fatal("missing domain accepted")
+	}
+}
+
+func TestMappingShapes(t *testing.T) {
+	d := disk()
+	m := Mapping(d, 0, 1, 5, 1, 5, ManyToOne)
+	if m.Len() != 5 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	m = Mapping(d, 0, 1, 1, 7, 7, OneToMany)
+	if m.Len() != 7 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	m = Mapping(d, 0, 1, 4, 4, 4, OneToOne)
+	if m.Len() != 4 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestLine3WorstCase(t *testing.T) {
+	d := disk()
+	g, in := Line3WorstCase(d, 20, 30)
+	if in[0].Len() != 20 || in[1].Len() != 1 || in[2].Len() != 30 {
+		t.Fatalf("sizes = %d,%d,%d", in[0].Len(), in[1].Len(), in[2].Len())
+	}
+	// Full join = partial join on {R1,R3} = 600.
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 {
+		t.Fatalf("join = %d, want 600", n)
+	}
+	p, err := count.PartialJoinSize(g, in, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 600 {
+		t.Fatalf("partial = %d, want 600", p)
+	}
+}
+
+func TestBalancedLineDomains(t *testing.T) {
+	targets := []float64{64, 64, 64, 64, 64}
+	zs, err := BalancedLineDomains(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != 6 {
+		t.Fatalf("zs = %v", zs)
+	}
+	for i := 0; i < 5; i++ {
+		got := zs[i] * zs[i+1]
+		if got < 32 || got > 128 {
+			t.Fatalf("realized N_%d = %d, want ~64 (zs=%v)", i+1, got, zs)
+		}
+	}
+	if _, err := BalancedLineDomains([]float64{2, 100, 2, 100, 2}); err == nil {
+		t.Fatal("unbalanced targets accepted")
+	}
+	if _, err := BalancedLineDomains([]float64{4, 4}); err == nil {
+		t.Fatal("even length accepted")
+	}
+}
+
+func TestLineBalancedWorstCase(t *testing.T) {
+	d := disk()
+	g, in, sizes, err := LineBalancedWorstCase(d, []int{4, 8, 8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != 32 || sizes[1] != 64 || sizes[2] != 32 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Partial join on the alternating cover {e1, e3} = 4*8 * ... the
+	// independent set {e1,e3}: cross product construction gives partial
+	// join size N1*N3 / overlap... full join = prod of domains = 4*8*8*4.
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4*8*8*4 {
+		t.Fatalf("join = %d", n)
+	}
+}
+
+func TestStarWorstCase(t *testing.T) {
+	d := disk()
+	g, in := StarWorstCase(d, []int{5, 6, 7})
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5*6*7 {
+		t.Fatalf("join = %d, want 210", n)
+	}
+	p, err := count.PartialJoinSize(g, in, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 210 {
+		t.Fatalf("petal partial join = %d, want 210", p)
+	}
+}
+
+func TestMaxPackingAndEqualSize(t *testing.T) {
+	g := hypergraph.StarQuery(3)
+	packing := MaxPacking(g)
+	exact := cover.ExactMinCover(g)
+	if len(packing) != len(exact) {
+		t.Fatalf("packing %v size != cover %v size", packing, exact)
+	}
+	d := disk()
+	in, pk, err := EqualSizePacking(d, g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk) != 3 {
+		t.Fatalf("packing = %v", pk)
+	}
+	for _, e := range g.Edges() {
+		if in[e.ID].Len() > 9 {
+			t.Fatalf("relation %s size %d > 9", e.Name, in[e.ID].Len())
+		}
+	}
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9*9*9 {
+		t.Fatalf("join = %d, want 729", n)
+	}
+}
+
+func TestMaxPackingRandomDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		g := randomAcyclic(rng, 1+rng.Intn(7))
+		if len(MaxPacking(g)) != len(cover.ExactMinCover(g)) {
+			t.Fatalf("duality gap on %v", g)
+		}
+	}
+}
+
+func randomAcyclic(rng *rand.Rand, nEdges int) *hypergraph.Graph {
+	attr := 0
+	edges := make([]*hypergraph.Edge, nEdges)
+	for i := 0; i < nEdges; i++ {
+		edges[i] = &hypergraph.Edge{ID: i, Name: "R"}
+	}
+	for i := 1; i < nEdges; i++ {
+		p := rng.Intn(i)
+		edges[i].Attrs = append(edges[i].Attrs, attr)
+		edges[p].Attrs = append(edges[p].Attrs, attr)
+		attr++
+	}
+	for i := 0; i < nEdges; i++ {
+		for k := rng.Intn(3); k > 0; k-- {
+			edges[i].Attrs = append(edges[i].Attrs, attr)
+			attr++
+		}
+		if len(edges[i].Attrs) == 0 {
+			edges[i].Attrs = append(edges[i].Attrs, attr)
+			attr++
+		}
+	}
+	return hypergraph.MustNew(edges)
+}
+
+func TestLine5UnbalancedWorstCase(t *testing.T) {
+	d := disk()
+	// Parameters making N2·N4 = 32·32 exceed N1·N3·N5 = 4·32·4.
+	g, in, sizes := Line5UnbalancedWorstCase(d, 4, 32, 32, 4)
+	if cover.IsBalancedOddLine(sizes) {
+		t.Fatalf("instance unexpectedly balanced: sizes=%v", sizes)
+	}
+	n, err := count.FullJoinSize(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every R1 endpoint joins through the chain to every R5 endpoint, once
+	// per surviving middle path: 4 * 32 (each v2 maps to one v3; all v3
+	// reachable) * 4.
+	if n <= 0 {
+		t.Fatalf("join = %d", n)
+	}
+}
+
+func TestZipfAndUniformPairs(t *testing.T) {
+	d := disk()
+	rng := rand.New(rand.NewSource(3))
+	u := UniformPairs(d, rng, 0, 1, 10, 10, 50)
+	if u.Len() != 50 {
+		t.Fatalf("uniform len = %d", u.Len())
+	}
+	z := ZipfPairs(d, rng, 0, 1, 100, 100, 200, 1.2)
+	if z.Len() == 0 || z.Len() > 200 {
+		t.Fatalf("zipf len = %d", z.Len())
+	}
+	// Skew check: value 0 should appear much more often than value 50.
+	c0, c50 := 0, 0
+	z.Scan(func(tp []int64) {
+		switch tp[0] {
+		case 0:
+			c0++
+		case 50:
+			c50++
+		}
+	})
+	if c0 <= c50 {
+		t.Errorf("zipf not skewed: count(0)=%d count(50)=%d", c0, c50)
+	}
+}
+
+func TestLollipopAndDumbbellCross(t *testing.T) {
+	d := disk()
+	g := hypergraph.Lollipop(3)
+	dom := map[hypergraph.Attr]int{}
+	for _, a := range g.Attrs() {
+		dom[a] = 2
+	}
+	_, in, err := LollipopCross(d, 3, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.AnyEmpty(g) {
+		t.Fatal("empty relation in lollipop cross")
+	}
+	g2 := hypergraph.Dumbbell(2, 4)
+	dom2 := map[hypergraph.Attr]int{}
+	for _, a := range g2.Attrs() {
+		dom2[a] = 2
+	}
+	_, in2, err := DumbbellCross(d, 2, 4, dom2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.AnyEmpty(g2) {
+		t.Fatal("empty relation in dumbbell cross")
+	}
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"acyclicjoin/internal/cover"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+)
+
+// Line3WorstCase builds the Figure 3 instance for L3: all R1 tuples share a
+// single v1 value, R2 is a single tuple, and all R3 tuples share a single
+// v2 value, so the partial join on {R1, R3} has size N1·N3 and any algorithm
+// needs Ω(N1·N3/(M·B)) I/Os.
+func Line3WorstCase(d *extmem.Disk, n1, n3 int) (*hypergraph.Graph, relation.Instance) {
+	g := hypergraph.Line(3) // attrs 0..3
+	in := relation.Instance{
+		0: Mapping(d, 0, 1, n1, 1, n1, ManyToOne),
+		1: Mapping(d, 1, 2, 1, 1, 1, OneToOne),
+		2: Mapping(d, 2, 3, 1, n3, n3, OneToMany),
+	}
+	return g, in
+}
+
+// LineBalancedWorstCase builds the Theorem 5 construction: each relation is
+// the cross product of its endpoint domains z_i × z_{i+1}. The caller picks
+// the domain sizes; relation i gets exactly z_i·z_{i+1} tuples. The returned
+// sizes are the realized N_i.
+func LineBalancedWorstCase(d *extmem.Disk, zs []int) (*hypergraph.Graph, relation.Instance, []float64, error) {
+	n := len(zs) - 1
+	if n < 1 {
+		return nil, nil, nil, fmt.Errorf("workload: need at least 2 domain sizes")
+	}
+	g := hypergraph.Line(n)
+	dom := map[hypergraph.Attr]int{}
+	for i, z := range zs {
+		if z < 1 {
+			return nil, nil, nil, fmt.Errorf("workload: domain size %d at %d", z, i)
+		}
+		dom[i] = z
+	}
+	in, err := CrossInstance(d, g, dom)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sizes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = float64(in[i].Len())
+	}
+	return g, in, sizes, nil
+}
+
+// BalancedLineDomains solves the Theorem 5 feasibility chain for an
+// odd-length balanced line with target sizes N: it returns integer domain
+// sizes z_1..z_{n+1} with z_i·z_{i+1} ≈ N_i. z_1 is chosen as the largest
+// left-hand side of the feasibility inequalities so every domain is >= 1.
+func BalancedLineDomains(targets []float64) ([]int, error) {
+	n := len(targets)
+	if n%2 == 0 {
+		return nil, fmt.Errorf("workload: BalancedLineDomains needs odd n, got %d", n)
+	}
+	if !cover.IsBalancedOddLine(targets) {
+		return nil, fmt.Errorf("workload: targets %v are not balanced", targets)
+	}
+	// In log space: z_{i+1} = N_i/z_i alternately; lower bounds on z_1 come
+	// from requiring z_i >= 1 for odd i (z odd positions grow with z1) and
+	// z_i <= N boundaries. Pick log z1 = max(0, max over even prefixes).
+	logN := make([]float64, n)
+	for i, t := range targets {
+		logN[i] = math.Log2(t)
+	}
+	lo := 0.0
+	// z_{2k+1} = z1 + sum_{j<=2k, j even} (logN[j] - logN[j-1])... derive
+	// iteratively: logz[i+1] = logN[i] - logz[i].
+	// Feasibility: all logz >= 0. Express logz[i] = a_i ± logz1 and bound.
+	a := make([]float64, n+1) // logz[i] = a[i] + sign[i]*logz1
+	sign := make([]float64, n+1)
+	a[0], sign[0] = 0, 1
+	for i := 0; i < n; i++ {
+		a[i+1] = logN[i] - a[i]
+		sign[i+1] = -sign[i]
+	}
+	for i := 0; i <= n; i++ {
+		if sign[i] > 0 {
+			// logz1 >= -a[i]
+			if -a[i] > lo {
+				lo = -a[i]
+			}
+		}
+	}
+	// Also need logz1 <= a[i] wherever sign is negative; the balance
+	// condition guarantees lo fits below every such bound.
+	logz1 := lo
+	zs := make([]int, n+1)
+	cur := logz1
+	zs[0] = int(math.Round(math.Pow(2, cur)))
+	if zs[0] < 1 {
+		zs[0] = 1
+	}
+	for i := 0; i < n; i++ {
+		cur = logN[i] - cur
+		z := int(math.Round(math.Pow(2, cur)))
+		if z < 1 {
+			z = 1
+		}
+		zs[i+1] = z
+	}
+	return zs, nil
+}
+
+// LineCross builds an L_n instance (n = len(zs)-1) where every relation is
+// the cross product of its endpoint domains except edge mapEdge (if >= 0),
+// which is a bijective-as-possible surjective mapping between its domains
+// of size max(z_i, z_{i+1}). This is the Section 6.3 lower-bound family:
+// with mapEdge in the middle, the mapping keeps N_mid = max(z,z') small
+// while its neighbours' cross products are large, breaking the balance
+// condition. The realized sizes are returned.
+func LineCross(d *extmem.Disk, zs []int, mapEdge int) (*hypergraph.Graph, relation.Instance, []float64, error) {
+	n := len(zs) - 1
+	if n < 1 {
+		return nil, nil, nil, fmt.Errorf("workload: need at least 2 domain sizes")
+	}
+	g := hypergraph.Line(n)
+	in := relation.Instance{}
+	for i := 0; i < n; i++ {
+		if zs[i] < 1 || zs[i+1] < 1 {
+			return nil, nil, nil, fmt.Errorf("workload: non-positive domain size")
+		}
+		if i == mapEdge {
+			sz := maxInt(zs[i], zs[i+1])
+			in[i] = Mapping(d, i, i+1, zs[i], zs[i+1], sz, OneToOne)
+			continue
+		}
+		sub := g.Subgraph([]int{i})
+		ci, err := CrossInstance(d, sub, map[hypergraph.Attr]int{i: zs[i], i + 1: zs[i+1]})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in[i] = ci[i]
+	}
+	sizes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = float64(in[i].Len())
+	}
+	return g, in, sizes, nil
+}
+
+// StarWorstCase builds the Theorem 4 construction for a star join with the
+// given petal sizes: every join attribute's domain has a single value, petal
+// i is a one-to-many matching from that value to N_i unique values, and the
+// core is a single tuple. The partial join on the petals has size Π N_i.
+func StarWorstCase(d *extmem.Disk, petalSizes []int) (*hypergraph.Graph, relation.Instance) {
+	k := len(petalSizes)
+	g := hypergraph.StarQuery(k)
+	in := relation.Instance{}
+	// Core: attrs 0..k-1, single all-zero tuple.
+	dom := map[hypergraph.Attr]int{}
+	for a := 0; a < k; a++ {
+		dom[a] = 1
+	}
+	coreOnly := g.Subgraph([]int{0})
+	coreIn, err := CrossInstance(d, coreOnly, dom)
+	if err != nil {
+		panic(err) // domains are all 1; cannot fail
+	}
+	in[0] = coreIn[0]
+	for i := 0; i < k; i++ {
+		in[i+1] = Mapping(d, i, k+i, 1, petalSizes[i], petalSizes[i], OneToMany)
+	}
+	return g, in
+}
+
+// EqualSizePacking builds the Theorem 7 construction for an acyclic query
+// with all relations of size ~n: attributes in a maximum packing (no edge
+// contains two of them) get domain size n, all others domain size 1, and
+// every relation is a cross product — so each relation has at most n tuples
+// and the partial join over the minimum edge cover has size n^c.
+func EqualSizePacking(d *extmem.Disk, g *hypergraph.Graph, n int) (relation.Instance, []hypergraph.Attr, error) {
+	packing := MaxPacking(g)
+	dom := map[hypergraph.Attr]int{}
+	for _, a := range g.Attrs() {
+		dom[a] = 1
+	}
+	for _, a := range packing {
+		dom[a] = n
+	}
+	in, err := CrossInstance(d, g, dom)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, packing, nil
+}
+
+// MaxPacking finds a maximum set of attributes such that no edge contains
+// two of them, by exhaustive search (constant query size). By LP duality on
+// acyclic queries its size equals the minimum edge cover number.
+func MaxPacking(g *hypergraph.Graph) []hypergraph.Attr {
+	attrs := g.Attrs()
+	n := len(attrs)
+	if n > 24 {
+		panic(fmt.Sprintf("workload: MaxPacking on %d attributes", n))
+	}
+	conflict := func(a, b hypergraph.Attr) bool {
+		for _, e := range g.Edges() {
+			if e.Has(a) && e.Has(b) {
+				return true
+			}
+		}
+		return false
+	}
+	var best []hypergraph.Attr
+	var cur []hypergraph.Attr
+	var rec func(i int)
+	rec = func(i int) {
+		if len(cur)+n-i <= len(best) {
+			return
+		}
+		if i == n {
+			if len(cur) > len(best) {
+				best = append([]hypergraph.Attr{}, cur...)
+			}
+			return
+		}
+		ok := true
+		for _, c := range cur {
+			if conflict(c, attrs[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cur = append(cur, attrs[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+		rec(i + 1)
+	}
+	rec(0)
+	return best
+}
+
+// Line5UnbalancedWorstCase builds the Section 6.3 instance for an
+// unbalanced L5 (N1·N3·N5 < N2·N4): R2 and R4 are cross products, R3 is a
+// surjective mapping between the middle domains, and R1, R5 are one-to-many
+// matchings fanning out to unique endpoints.
+//
+//	z-parameters: dom(v1)=n1, dom(v2)=1? — concretely: R1 fans a single v2
+//	value out to n1 v1-values; dom(v3)=z3, dom(v4)=z4; R5 mirrors R1.
+func Line5UnbalancedWorstCase(d *extmem.Disk, n1, z3, z4, n5 int) (*hypergraph.Graph, relation.Instance, []float64) {
+	g := hypergraph.Line(5) // attrs 0..5
+	in := relation.Instance{
+		// R1: n1 unique v0 values all sharing v1=0.
+		0: Mapping(d, 0, 1, n1, 1, n1, ManyToOne),
+		// R2: cross product {0} x dom(v2)=z3.
+		1: Mapping(d, 1, 2, 1, z3, z3, OneToMany),
+		// R3: surjective mapping dom(v2)=z3 -> dom(v3)=z4.
+		2: Mapping(d, 2, 3, z3, z4, maxInt(z3, z4), ManyToOne),
+		// R4: cross product dom(v3)=z4 x {0}.
+		3: Mapping(d, 3, 4, z4, 1, z4, ManyToOne),
+		// R5: one v4 value fanning out to n5 unique v5 values.
+		4: Mapping(d, 4, 5, 1, n5, n5, OneToMany),
+	}
+	sizes := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		sizes[i] = float64(in[i].Len())
+	}
+	return g, in, sizes
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LollipopCross builds a cross-product instance for the lollipop join with
+// the given per-attribute domain sizes (Section 7.2's constructions are all
+// of this form for various domain choices).
+func LollipopCross(d *extmem.Disk, n int, domSize map[hypergraph.Attr]int) (*hypergraph.Graph, relation.Instance, error) {
+	g := hypergraph.Lollipop(n)
+	in, err := CrossInstance(d, g, domSize)
+	return g, in, err
+}
+
+// DumbbellCross builds a cross-product instance for the dumbbell join.
+func DumbbellCross(d *extmem.Disk, n, m int, domSize map[hypergraph.Attr]int) (*hypergraph.Graph, relation.Instance, error) {
+	g := hypergraph.Dumbbell(n, m)
+	in, err := CrossInstance(d, g, domSize)
+	return g, in, err
+}

@@ -1,0 +1,182 @@
+package acyclicjoin
+
+import (
+	"fmt"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/reducer"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// Strategy selects how Algorithm 2 resolves its nondeterministic choice of
+// which leaf relation to peel.
+type Strategy = core.Strategy
+
+// Re-exported strategies; see the core package for semantics.
+const (
+	// StrategyExhaustive dry-runs every peeling policy and re-runs the
+	// cheapest with emission — the paper's round-robin guarantee. Default.
+	StrategyExhaustive = core.StrategyExhaustive
+	// StrategyFirst always peels the first leaf (fast, possibly suboptimal).
+	StrategyFirst = core.StrategyFirst
+	// StrategySmallest greedily peels the leaf with the smallest relation.
+	StrategySmallest = core.StrategySmallest
+)
+
+// Options configures a Run.
+type Options struct {
+	// Memory is M, the memory size in tuples. Default 1024.
+	Memory int
+	// Block is B, the block size in tuples. Default 64.
+	Block int
+	// Strategy resolves the nondeterministic peeling. Default exhaustive.
+	Strategy Strategy
+	// SkipReduce skips the Yannakakis full reduction preprocessing. The
+	// result is still correct, but the optimality guarantees assume fully
+	// reduced inputs.
+	SkipReduce bool
+	// NoLineSpecialization disables routing line joins through the
+	// Section 6 dispatcher (Algorithms 1/4/5 and the L6/L8 compositions);
+	// Algorithm 2 is used unconditionally instead.
+	NoLineSpecialization bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Memory == 0 {
+		o.Memory = 1024
+	}
+	if o.Block == 0 {
+		o.Block = 64
+	}
+	return o
+}
+
+// Stats reports the I/O behaviour of a run on the simulated machine.
+type Stats struct {
+	// Reads and Writes count block transfers; IOs is their sum.
+	Reads, Writes, IOs int64
+	// MemHiWater is the peak number of tuples held in memory.
+	MemHiWater int
+}
+
+func fromExtmem(s extmem.Stats) Stats {
+	return Stats{Reads: s.Reads, Writes: s.Writes, IOs: s.IOs(), MemHiWater: s.MemHiWater}
+}
+
+// Result reports the outcome of a Run.
+type Result struct {
+	// Count is the number of join results emitted.
+	Count int64
+	// Stats is the I/O cost of the executed (winning) branch, including the
+	// full-reduction preprocessing.
+	Stats Stats
+	// PlanningStats additionally includes the dry-run branches explored
+	// under StrategyExhaustive (the paper's round-robin simulation cost).
+	PlanningStats Stats
+	// Branches is how many peeling policies were explored.
+	Branches int
+	// Plan describes the algorithm used ("acyclic-join (Algorithm 2)",
+	// "line-5 unbalanced (Algorithm 4)", ...).
+	Plan string
+}
+
+// Run evaluates the join, calling emit (if non-nil) once per result. The
+// Row passed to emit is freshly allocated per call; for counting-only runs
+// pass nil and read Result.Count.
+func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error) {
+	if inst.q != q {
+		return nil, fmt.Errorf("acyclicjoin: instance belongs to a different query")
+	}
+	opts = opts.withDefaults()
+	cfg := extmem.Config{M: opts.Memory, B: opts.Block}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	disk := extmem.NewDisk(cfg)
+
+	// Load the instance onto the simulated disk without charging: input
+	// data is assumed to already reside on disk when the algorithm starts.
+	restore := disk.Suspend()
+	in := relation.Instance{}
+	for name, i := range q.relIndex {
+		schema := make(tuple.Schema, len(q.relAttrs[i]))
+		for j, a := range q.relAttrs[i] {
+			schema[j] = q.attrIDs[a]
+		}
+		in[i] = relation.FromTuples(disk, schema, inst.rows[i])
+		_ = name
+	}
+	restore()
+	disk.ResetStats()
+
+	work := in
+	if !opts.SkipReduce {
+		red, err := reducer.FullReduce(q.graph, in)
+		if err != nil {
+			return nil, err
+		}
+		work = red
+	}
+
+	// Emit adapter: decode assignments into Rows.
+	attrOrder := make([]string, len(q.attrNames))
+	copy(attrOrder, q.attrNames)
+	var count int64
+	coreEmit := func(a tuple.Assignment) {
+		count++
+		if emit == nil {
+			return
+		}
+		row := make(Row, len(attrOrder))
+		for name, id := range q.attrIDs {
+			if a.Has(id) {
+				row[name] = inst.dict.decode(a.Get(id))
+			}
+		}
+		emit(row)
+	}
+
+	res := &Result{}
+	copts := core.Options{Strategy: opts.Strategy, AssumeReduced: !opts.SkipReduce}
+	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
+		before := disk.Stats()
+		plan, err := core.RunLine(q.graph, work, coreEmit, copts)
+		if err != nil {
+			return nil, err
+		}
+		delta := disk.Stats().Sub(before)
+		res.Plan = plan.Kind.String() + ": " + plan.Reason
+		res.Stats = fromExtmem(disk.Stats())
+		res.PlanningStats = res.Stats
+		res.Branches = 1
+		_ = delta
+	} else {
+		r, err := core.Run(q.graph, work, coreEmit, copts)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = "acyclic-join (Algorithm 2), strategy " + opts.Strategy.String()
+		res.Branches = r.Branches
+		// Execution stats: reduction + winning branch. Planning adds the
+		// dry runs.
+		exec := r.ExecStats
+		total := r.TotalStats
+		full := disk.Stats()
+		// full = reduction + total; execution = full - (total - exec).
+		execFull := full.Sub(total.Sub(exec))
+		res.Stats = fromExtmem(execFull)
+		res.PlanningStats = fromExtmem(full)
+		if emit == nil {
+			count = r.Emitted
+		}
+	}
+	res.Count = count
+	return res, nil
+}
+
+// Count evaluates the join and returns only the number of results and stats.
+func Count(q *Query, inst *Instance, opts Options) (*Result, error) {
+	return Run(q, inst, opts, nil)
+}
