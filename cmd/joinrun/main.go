@@ -27,6 +27,7 @@ func main() {
 		header  = flag.Bool("header", false, "CSV files have a header row to skip")
 		limit   = flag.Int("limit", 20, "max rows to print (0 = unlimited)")
 		strat   = flag.String("strategy", "exhaustive", "peeling strategy: exhaustive|first|smallest")
+		par     = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -62,7 +63,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d distinct tuples\n", l.rel, inst.Size(l.rel))
 	}
 
-	opts := acyclicjoin.Options{Memory: *m, Block: *b}
+	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par}
 	switch *strat {
 	case "exhaustive":
 		opts.Strategy = acyclicjoin.StrategyExhaustive

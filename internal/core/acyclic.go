@@ -84,6 +84,13 @@ type Options struct {
 	// neighbours are re-semijoined per chunk). Correct, but on skewed data
 	// it loses the factor the heavy-value restriction views save.
 	DisableHeavySplit bool
+	// Parallelism bounds how many dry-run branches StrategyExhaustive may
+	// explore concurrently, each on its own child disk (extmem.Disk.NewChild).
+	// Values <= 0 use the sequential odometer reference path; any value >= 1
+	// uses the worker-pool path with that many workers. Both paths produce
+	// bit-identical Results — see runExhaustiveParallel for why. Ignored by
+	// the other strategies, which explore a single branch.
+	Parallelism int
 }
 
 // Result reports the outcome of a Run.
@@ -132,7 +139,15 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 		return res, nil
 	}
 
-	// Exhaustive: odometer over structure-keyed decision points.
+	if opts.Parallelism >= 1 {
+		return runExhaustiveParallel(g, in, emit, opts, disk, res)
+	}
+	return runExhaustiveSeq(g, in, emit, opts, disk, res)
+}
+
+// runExhaustiveSeq is the sequential reference path: an odometer over
+// structure-keyed decision points, one dry run per policy on the shared disk.
+func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
 	type branchOutcome struct {
 		cost   int64
 		policy map[string]int
@@ -164,8 +179,12 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 			break
 		}
 	}
-	// Re-run the winning branch with emission.
-	fixed := best.policy
+	return finishExhaustive(g, in, emit, opts, disk, res, grand, best.policy)
+}
+
+// finishExhaustive re-runs the winning policy with emission on the shared
+// disk and assembles the Result; common tail of both exhaustive paths.
+func finishExhaustive(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result, grand extmem.Stats, fixed map[string]int) (*Result, error) {
 	ex := &executor{
 		emit:   emit,
 		opts:   opts,

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"acyclicjoin/internal/extmem"
@@ -83,6 +85,54 @@ func BenchmarkAcyclicJoinL5(b *testing.B) {
 		_ = before
 	}
 	b.ReportMetric(float64(ios), "ios/op")
+}
+
+// BenchmarkExhaustiveBranches compares sequential and concurrent branch
+// exploration on a 16-branch L5 at harness Scale 4 (the line experiments use
+// 512*Scale rows per relation). Every sub-benchmark asserts its Result is
+// bit-identical to the sequential reference; only wall-clock time may differ.
+// The dry runs are CPU-bound, so the speedup tracks GOMAXPROCS: on a single
+// core par* matches seq (showing the scheduler's overhead is in the noise),
+// on N >= 2 cores the par* variants win roughly min(N, wave width)-fold on
+// the planning portion.
+func BenchmarkExhaustiveBranches(b *testing.B) {
+	mk := func() (*extmem.Disk, *Result) {
+		d := extmem.NewDisk(extmem.Config{M: 512, B: 32})
+		rng := rand.New(rand.NewSource(7))
+		g, in := workload.LineUniform(d, rng, 5, 2048, 512)
+		r, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d, r
+	}
+	_, ref := mk()
+	if ref.Branches < 4 {
+		b.Fatalf("expected a multi-branch query, got %d branches", ref.Branches)
+	}
+	for _, par := range []int{0, 2, 4, 8} {
+		name := "seq"
+		if par > 0 {
+			name = fmt.Sprintf("par%d", par)
+		}
+		b.Run(name, func(b *testing.B) {
+			d := extmem.NewDisk(extmem.Config{M: 512, B: 32})
+			rng := rand.New(rand.NewSource(7))
+			g, in := workload.LineUniform(d, rng, 5, 2048, 512)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(r, ref) {
+					b.Fatalf("parallelism %d diverged: %+v, want %+v", par, r, ref)
+				}
+			}
+			b.ReportMetric(float64(ref.Branches), "branches")
+		})
+	}
 }
 
 // BenchmarkExhaustivePlanning isolates the dry-run planning overhead.

@@ -128,6 +128,12 @@ func isSandwichCover(x []int) bool {
 // RunLine evaluates a line join with the plan chosen by PlanLine, returning
 // the plan used. The instance should be fully reduced for the optimality
 // guarantees (correctness holds regardless).
+//
+// The dispatcher itself commits to a single plan up front — it explores no
+// dry-run branches — but opts flows through to every nested Run call (the
+// PlanAcyclic route and the inner plans of chunked composites), so
+// Options.Parallelism still applies wherever Algorithm 2's exhaustive
+// strategy is reached from here.
 func RunLine(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*LinePlan, error) {
 	order, ok := g.AsLine()
 	if !ok {

@@ -1,0 +1,218 @@
+// Parallel branch exploration for StrategyExhaustive.
+//
+// The sequential path dry-runs every peeling policy one after another on the
+// shared disk. Branches are independent, though: a dry run only reads the
+// (frozen) input relations and writes to files it creates itself, and every
+// I/O it charges is a pure function of its own choices. So each branch can
+// execute in its own goroutine against a thread-confined child disk
+// (extmem.Disk.NewChild) holding a rebased view of the instance
+// (relation.Instance.Rebind), and the children's counters can be folded back
+// into the parent afterwards (extmem.Disk.Absorb) in the sequential branch
+// order. Addition and max make the merge order-insensitive, which is why the
+// merged stats — and therefore the whole Result — are bit-identical to the
+// sequential path at any worker count.
+//
+// Enumeration is the only subtlety: the odometer discovers decision points
+// *during* a run, so branch k+1's policy depends on branch k's trail. The
+// scheduler below turns that into speculative tree exploration. Every task
+// is a policy prefix; running it makes default (leaf 0) choices past the
+// prefix and records the full trail. A completed run then spawns one task
+// per untried alternative at each decision point past its fixed prefix.
+// Tasks and branches are in bijection (each run IS the branch whose trail
+// extends its prefix with defaults), so the task count equals the sequential
+// branch count, and sorting trails lexicographically by their choice vectors
+// recovers the exact odometer (DFS) order for tie-breaking.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+)
+
+// trail records the decision points of one dry-run branch in discovery
+// order: structure key, chosen leaf index, and number of peelable leaves at
+// each point. Choices at keys in imposed are fixed by the scheduler; every
+// other decision defaults to leaf 0, exactly like a fresh odometer.
+type trail struct {
+	imposed map[string]int
+	seen    map[string]int
+	keys    []string
+	choices []int
+	radixes []int
+}
+
+func newTrail(imposed map[string]int) *trail {
+	return &trail{imposed: imposed, seen: map[string]int{}}
+}
+
+// choose mirrors odometer.choose: the first encounter of a key fixes its
+// decision for the rest of the run; re-encounters (chunk iterations over the
+// same subquery structure) reuse it without creating a new decision point.
+func (t *trail) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
+	if i, ok := t.seen[key]; ok {
+		if t.choices[i] >= len(leaves) {
+			// Mirrors the odometer's defensive clamp; structurally unreachable.
+			return 0
+		}
+		return t.choices[i]
+	}
+	c := t.imposed[key]
+	if c >= len(leaves) {
+		c = 0
+	}
+	t.seen[key] = len(t.keys)
+	t.keys = append(t.keys, key)
+	t.choices = append(t.choices, c)
+	t.radixes = append(t.radixes, len(leaves))
+	return c
+}
+
+// policy returns the trail as a fixed key->choice map (the odometer snapshot
+// of this branch).
+func (t *trail) policy() map[string]int {
+	out := make(map[string]int, len(t.keys))
+	for i, k := range t.keys {
+		out[k] = t.choices[i]
+	}
+	return out
+}
+
+// less orders trails in odometer (DFS) order: lexicographic on the choice
+// vectors. Two distinct branches never have one trail a strict prefix of the
+// other — equal choice prefixes evolve the query identically, so the next
+// decision point (or termination) is the same — but the comparison handles
+// it anyway.
+func (t *trail) less(o *trail) bool {
+	n := len(t.choices)
+	if len(o.choices) < n {
+		n = len(o.choices)
+	}
+	for i := 0; i < n; i++ {
+		if t.choices[i] != o.choices[i] {
+			return t.choices[i] < o.choices[i]
+		}
+	}
+	return len(t.choices) < len(o.choices)
+}
+
+// branch is one dry-run task and, after running, its outcome.
+type branch struct {
+	// fixedLen is how many leading decisions the scheduler imposed;
+	// alternatives at positions before it belong to ancestor tasks.
+	fixedLen int
+	trail    *trail
+	child    *extmem.Disk
+	err      error
+}
+
+func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options) {
+	ex := &executor{
+		emit:    func(tuple.Assignment) {},
+		opts:    opts,
+		nAttrs:  g.MaxAttr() + 1,
+		chooser: b.trail.choose,
+	}
+	b.err = ex.run(g, in.Rebind(b.child))
+}
+
+// runExhaustiveParallel explores the peeling branches wave by wave: the
+// current frontier of tasks runs concurrently (at most opts.Parallelism in
+// flight), then each completed run spawns the next frontier from its untried
+// alternatives. Branch trees here are shallow — depth is the number of
+// structure-keyed decision points — so wave synchronisation costs little and
+// keeps the scheduler simple and allocation-light.
+//
+// The one divergence from the sequential path: if enumeration hits the
+// maxBranches backstop, the branches kept are the DFS-first maxBranches of
+// those spawned, which only coincides with the sequential truncation when the
+// full tree was enumerated. The backstop is far above what constant-size
+// queries produce, so this is theoretical.
+func runExhaustiveParallel(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
+	workers := opts.Parallelism
+	var all []*branch
+	frontier := []*branch{{trail: newTrail(nil)}}
+	spawned := 1
+	for len(frontier) > 0 {
+		for _, b := range frontier {
+			// Children are created serially: NewChild reads the parent,
+			// which must be quiescent. It is — branches only charge children.
+			b.child = disk.NewChild()
+		}
+		runWave(frontier, workers, func(b *branch) { b.dryRun(g, in, opts) })
+		all = append(all, frontier...)
+		var next []*branch
+		for _, b := range frontier {
+			if b.err != nil {
+				continue // the whole run aborts; no point expanding
+			}
+			for i := b.fixedLen; i < len(b.trail.keys) && spawned < maxBranches; i++ {
+				for c := b.trail.choices[i] + 1; c < b.trail.radixes[i] && spawned < maxBranches; c++ {
+					imp := make(map[string]int, i+1)
+					for j := 0; j < i; j++ {
+						imp[b.trail.keys[j]] = b.trail.choices[j]
+					}
+					imp[b.trail.keys[i]] = c
+					next = append(next, &branch{fixedLen: i + 1, trail: newTrail(imp)})
+					spawned++
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Sequential (odometer) order for error propagation, tie-breaking and
+	// stat absorption.
+	sort.Slice(all, func(i, j int) bool { return all[i].trail.less(all[j].trail) })
+	if len(all) > maxBranches {
+		all = all[:maxBranches]
+	}
+	for i, b := range all {
+		if b.err != nil {
+			// Match the sequential disk state: branches before (and the
+			// partial charges of) the failing one are already absorbed.
+			for _, p := range all[:i+1] {
+				disk.Absorb(p.child)
+			}
+			return nil, b.err
+		}
+	}
+
+	before := disk.Stats()
+	best := 0
+	for i, b := range all {
+		disk.Absorb(b.child)
+		if b.child.Stats().IOs() < all[best].child.Stats().IOs() {
+			best = i
+		}
+	}
+	grand := disk.Stats().Sub(before)
+	res.Branches = len(all)
+	return finishExhaustive(g, in, emit, opts, disk, res, grand, all[best].trail.policy())
+}
+
+// runWave executes fn over the tasks with at most workers in flight.
+func runWave(tasks []*branch, workers int, fn func(*branch)) {
+	if workers <= 1 || len(tasks) == 1 {
+		for _, b := range tasks {
+			fn(b)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, b := range tasks {
+		wg.Add(1)
+		go func(b *branch) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(b)
+		}(b)
+	}
+	wg.Wait()
+}

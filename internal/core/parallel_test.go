@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+	"acyclicjoin/internal/workload"
+)
+
+// builder constructs a fresh query + instance on the given disk. Each engine
+// run gets its own disk and instance so the comparison starts from identical
+// machine state.
+type builder func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance)
+
+// engineRun evaluates the exhaustive strategy with the given parallelism on
+// a fresh disk, returning the Result, the emitted assignments in emission
+// order, the final disk stats, and the error (if any).
+func engineRun(b builder, parallelism int) (*Result, []string, extmem.Stats, error) {
+	d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+	g, in := b(d)
+	var emitted []string
+	r, err := Run(g, in, func(a tuple.Assignment) {
+		emitted = append(emitted, a.String())
+	}, Options{Strategy: StrategyExhaustive, Parallelism: parallelism})
+	return r, emitted, d.Stats(), err
+}
+
+func randCoreInstance(d *extmem.Disk, rng *rand.Rand, g *hypergraph.Graph, rows, dom int) relation.Instance {
+	in := relation.Instance{}
+	for _, e := range g.Edges() {
+		schema := make(tuple.Schema, len(e.Attrs))
+		copy(schema, e.Attrs)
+		seen := map[string]bool{}
+		var rs []tuple.Tuple
+		for k := 0; k < rows; k++ {
+			t := make(tuple.Tuple, len(schema))
+			for j := range t {
+				t[j] = int64(rng.Intn(dom))
+			}
+			key := fmt.Sprint(t)
+			if !seen[key] {
+				seen[key] = true
+				rs = append(rs, t)
+			}
+		}
+		in[e.ID] = relation.FromTuples(d, schema, rs)
+	}
+	return in
+}
+
+// TestParallelBitIdentical is the tentpole's contract: at every worker count
+// the exhaustive strategy produces the same Result (stats, branch count,
+// winning policy), the same emitted rows in the same order, the same final
+// disk state, and the same error as the sequential odometer path.
+func TestParallelBitIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		build builder
+	}{
+		{"line3-uniform", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(11))
+			return workload.LineUniform(d, rng, 3, 120, 12)
+		}},
+		{"line4-uniform", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(12))
+			return workload.LineUniform(d, rng, 4, 90, 9)
+		}},
+		{"line5-skewed", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(13))
+			g := hypergraph.Line(5)
+			in := relation.Instance{}
+			for i, e := range g.Edges() {
+				in[e.ID] = workload.ZipfPairs(d, rng, e.Attrs[0], e.Attrs[1], 8, 8, 60+10*i, 1.2)
+			}
+			return g, in
+		}},
+		{"star3-random", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(14))
+			g := hypergraph.StarQuery(3)
+			return g, randCoreInstance(d, rng, g, 40, 6)
+		}},
+		{"lollipop-random", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(15))
+			g := hypergraph.Lollipop(3)
+			return g, randCoreInstance(d, rng, g, 30, 5)
+		}},
+		{"dumbbell-random", func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(16))
+			g := hypergraph.Dumbbell(2, 4)
+			return g, randCoreInstance(d, rng, g, 30, 5)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRes, wantRows, wantDisk, wantErr := engineRun(tc.build, 0)
+			for _, n := range []int{1, 4, 8} {
+				gotRes, gotRows, gotDisk, gotErr := engineRun(tc.build, n)
+				if (gotErr != nil) != (wantErr != nil) ||
+					(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+					t.Fatalf("P=%d err = %v, sequential err = %v", n, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(gotRes, wantRes) {
+					t.Errorf("P=%d Result = %+v, want %+v", n, gotRes, wantRes)
+				}
+				if !reflect.DeepEqual(gotRows, wantRows) {
+					t.Errorf("P=%d emitted %d rows, want %d (or order differs)", n, len(gotRows), len(wantRows))
+				}
+				if gotDisk != wantDisk {
+					t.Errorf("P=%d final disk stats = %+v, want %+v", n, gotDisk, wantDisk)
+				}
+			}
+			if wantErr == nil && wantRes.Branches < 2 {
+				t.Logf("note: %s explored only %d branch(es)", tc.name, wantRes.Branches)
+			}
+		})
+	}
+}
+
+// A query with a single peelable structure throughout has exactly one branch;
+// the parallel scheduler must not invent extras or change its cost.
+func TestParallelSingleBranch(t *testing.T) {
+	build := func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+		g := hypergraph.Line(2)
+		in := relation.Instance{}
+		for _, e := range g.Edges() {
+			in[e.ID] = relation.FromTuples(d, tuple.Schema(e.Attrs), []tuple.Tuple{{1, 2}, {2, 3}})
+		}
+		return g, in
+	}
+	seqRes, _, _, err := engineRun(build, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, _, _, err := engineRun(build, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parRes, seqRes) {
+		t.Errorf("parallel = %+v, sequential = %+v", parRes, seqRes)
+	}
+}
+
+func TestTrailChooseImposedMemoizedClamped(t *testing.T) {
+	tr := newTrail(map[string]int{"a": 2, "c": 9})
+	if c := tr.choose("a", leafSet(4), nil); c != 2 {
+		t.Errorf("imposed choice = %d, want 2", c)
+	}
+	if c := tr.choose("b", leafSet(3), nil); c != 0 {
+		t.Errorf("default choice = %d, want 0", c)
+	}
+	// Re-encounter reuses the recorded decision and adds no new point.
+	if c := tr.choose("a", leafSet(4), nil); c != 2 {
+		t.Errorf("memoized choice = %d, want 2", c)
+	}
+	if len(tr.keys) != 2 {
+		t.Errorf("decision points = %v, want [a b]", tr.keys)
+	}
+	// Imposed value beyond the radix clamps to the default leaf.
+	if c := tr.choose("c", leafSet(2), nil); c != 0 {
+		t.Errorf("clamped choice = %d, want 0", c)
+	}
+	want := map[string]int{"a": 2, "b": 0, "c": 0}
+	if !reflect.DeepEqual(tr.policy(), want) {
+		t.Errorf("policy = %v, want %v", tr.policy(), want)
+	}
+	if !reflect.DeepEqual(tr.radixes, []int{4, 3, 2}) {
+		t.Errorf("radixes = %v", tr.radixes)
+	}
+}
+
+func TestTrailLessIsOdometerOrder(t *testing.T) {
+	mk := func(choices ...int) *trail { return &trail{choices: choices} }
+	cases := []struct {
+		a, b *trail
+		want bool
+	}{
+		{mk(0, 0), mk(0, 1), true},
+		{mk(0, 1), mk(0, 0), false},
+		{mk(1), mk(0, 5, 5), false},
+		{mk(0, 2, 0), mk(1, 0, 0), true},
+		{mk(0, 1), mk(0, 1), false},
+		{mk(0), mk(0, 1), true}, // prefix sorts first
+	}
+	for i, c := range cases {
+		if got := c.a.less(c.b); got != c.want {
+			t.Errorf("case %d: %v.less(%v) = %v, want %v", i, c.a.choices, c.b.choices, got, c.want)
+		}
+	}
+}
+
+// The wave scheduler must enumerate exactly the branches the odometer does.
+// Cross-check the branch count and winning policy on a query known to have
+// several dependent decision points (cf. TestOdometerDependentDecisions).
+func TestParallelBranchSetMatchesOdometer(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		build := func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(seed))
+			g := hypergraph.Line(4)
+			return g, randCoreInstance(d, rng, g, 25+int(seed), 4)
+		}
+		seqRes, _, _, err := engineRun(build, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, _, _, err := engineRun(build, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parRes.Branches != seqRes.Branches {
+			t.Errorf("seed %d: parallel explored %d branches, sequential %d", seed, parRes.Branches, seqRes.Branches)
+		}
+		if !reflect.DeepEqual(parRes.Policy, seqRes.Policy) {
+			t.Errorf("seed %d: winning policy %v, want %v", seed, parRes.Policy, seqRes.Policy)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package extmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Sub keeps the receiver's hi-water mark (a cumulative quantity), and Add
+// takes the max from either side — the two laws the exhaustive planner's
+// stat assembly depends on.
+func TestStatsSubKeepsReceiverHiWater(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 5, MemHiWater: 42}
+	b := Stats{Reads: 4, Writes: 1, MemHiWater: 99}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 4 {
+		t.Errorf("Sub I/O = %+v", d)
+	}
+	if d.MemHiWater != 42 {
+		t.Errorf("Sub hi-water = %d, want receiver's 42", d.MemHiWater)
+	}
+	if x, y := a.Add(b).MemHiWater, b.Add(a).MemHiWater; x != 99 || y != 99 {
+		t.Errorf("Add hi-water not a symmetric max: %d / %d", x, y)
+	}
+}
+
+func TestWithPhaseThreeLevelNesting(t *testing.T) {
+	d := NewDisk(Config{M: 16, B: 1})
+	d.EnablePhases()
+	f := d.NewFile(1)
+	w := f.NewWriter()
+	for i := 0; i < 4; i++ {
+		w.Append([]int64{int64(i)})
+	}
+	w.Close()
+	d.ResetPhases()
+	scan := func() {
+		r := f.NewReader()
+		for r.Next() != nil {
+		}
+	}
+	d.WithPhase("a", func() {
+		d.WithPhase("b", func() {
+			d.WithPhase("c", scan)
+			scan() // back to b
+		})
+		scan() // back to a
+	})
+	scan() // back to the default phase
+	ps := d.PhaseStats()
+	for _, name := range []string{"a", "b", "c", DefaultPhase} {
+		if ps[name].Reads != 4 {
+			t.Errorf("phase %q reads = %d, want 4 (all: %v)", name, ps[name].Reads, ps)
+		}
+	}
+}
+
+func TestNewChildSeedsMemoryAndCap(t *testing.T) {
+	d := NewDisk(Config{M: 8, B: 2, MemFactor: 2}) // cap = 16
+	if err := d.Grab(5); err != nil {
+		t.Fatal(err)
+	}
+	c := d.NewChild()
+	if c.MemInUse() != 5 {
+		t.Errorf("child memInUse = %d, want parent's 5", c.MemInUse())
+	}
+	if c.Stats().MemHiWater != 5 {
+		t.Errorf("child hi-water = %d, want 5", c.Stats().MemHiWater)
+	}
+	if c.Config() != d.Config() {
+		t.Errorf("child config = %+v", c.Config())
+	}
+	// The child enforces the same c*M allowance, counting the seed.
+	if err := c.Grab(11); err != nil {
+		t.Fatalf("Grab within cap: %v", err)
+	}
+	if err := c.Grab(1); !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("Grab beyond cap = %v, want ErrMemoryExceeded", err)
+	}
+	// Child accounting never touched the parent.
+	if d.MemInUse() != 5 || d.Stats().MemHiWater != 5 {
+		t.Errorf("parent mutated: inUse=%d hiWater=%d", d.MemInUse(), d.Stats().MemHiWater)
+	}
+}
+
+func TestAbsorbMergesCountersHiWaterAndPhases(t *testing.T) {
+	d := NewDisk(Config{M: 8, B: 2})
+	d.EnablePhases()
+	d.stats = Stats{Reads: 10, Writes: 10, MemHiWater: 3}
+
+	c1, c2 := d.NewChild(), d.NewChild()
+	if c1.phaseStats == nil {
+		t.Fatal("child did not inherit phase accounting")
+	}
+	work := func(c *Disk, phase string, n int, grab int) {
+		f := c.NewFile(1)
+		c.WithPhase(phase, func() {
+			w := f.NewWriter()
+			for i := 0; i < n; i++ {
+				w.Append([]int64{int64(i)})
+			}
+			w.Close()
+			r := f.NewReader()
+			for r.Next() != nil {
+			}
+		})
+		if err := c.Grab(grab); err != nil {
+			t.Fatal(err)
+		}
+		c.Release(grab)
+	}
+	work(c1, "sort", 4, 7)  // 2 writes + 2 reads, hi-water 7
+	work(c2, "merge", 6, 5) // 3 writes + 3 reads, hi-water 5
+
+	d.Absorb(c1)
+	d.Absorb(c2)
+	got := d.Stats()
+	if got.Reads != 15 || got.Writes != 15 {
+		t.Errorf("absorbed I/O = %+v", got)
+	}
+	if got.MemHiWater != 7 {
+		t.Errorf("absorbed hi-water = %d, want max(3,7,5)=7", got.MemHiWater)
+	}
+	ps := d.PhaseStats()
+	if ps["sort"].Reads != 2 || ps["sort"].Writes != 2 {
+		t.Errorf("sort phase = %+v", ps["sort"])
+	}
+	if ps["merge"].Reads != 3 || ps["merge"].Writes != 3 {
+		t.Errorf("merge phase = %+v", ps["merge"])
+	}
+}
+
+func TestAbsorbOrderInsensitive(t *testing.T) {
+	mk := func() (*Disk, []*Disk) {
+		d := NewDisk(Config{M: 8, B: 2})
+		var cs []*Disk
+		for i := 1; i <= 3; i++ {
+			c := d.NewChild()
+			c.stats = Stats{Reads: int64(i), Writes: int64(2 * i), MemHiWater: 10 - i}
+			cs = append(cs, c)
+		}
+		return d, cs
+	}
+	d1, cs1 := mk()
+	for _, c := range cs1 {
+		d1.Absorb(c)
+	}
+	d2, cs2 := mk()
+	for i := len(cs2) - 1; i >= 0; i-- {
+		d2.Absorb(cs2[i])
+	}
+	if d1.Stats() != d2.Stats() {
+		t.Errorf("absorption order changed stats: %+v vs %+v", d1.Stats(), d2.Stats())
+	}
+}
+
+func TestCloneToChargesChildOnly(t *testing.T) {
+	parent := NewDisk(Config{M: 8, B: 2})
+	f := parent.NewFile(2)
+	w := f.NewWriter()
+	for i := 0; i < 6; i++ {
+		w.Append([]int64{int64(i), int64(i)})
+	}
+	w.Close()
+	wrote := parent.Stats()
+
+	child := parent.NewChild()
+	cf := f.CloneTo(child)
+	if cf.Len() != f.Len() || cf.Arity() != f.Arity() {
+		t.Fatalf("clone shape %d/%d, want %d/%d", cf.Len(), cf.Arity(), f.Len(), f.Arity())
+	}
+	r := cf.NewReader()
+	n := 0
+	for t := r.Next(); t != nil; t = r.Next() {
+		if t[0] != int64(n) {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("clone scan saw %d tuples, want 6", n)
+	}
+	if child.Stats().Reads != 3 {
+		t.Errorf("child reads = %d, want 3", child.Stats().Reads)
+	}
+	if parent.Stats() != wrote {
+		t.Errorf("parent charged by clone access: %+v, want %+v", parent.Stats(), wrote)
+	}
+}
+
+// A stray append through a clone must not clobber the original's storage:
+// CloneTo pins the shared slice's capacity so growth reallocates.
+func TestCloneToAppendDoesNotCorruptOriginal(t *testing.T) {
+	parent := NewDisk(Config{M: 8, B: 2})
+	f := parent.NewFile(1)
+	w := f.NewWriter()
+	w.Append([]int64{1})
+	w.Close()
+	child := parent.NewChild()
+	cf := f.CloneTo(child)
+	cw := cf.NewWriter()
+	cw.Append([]int64{99})
+	cw.Close()
+	if f.Len() != 1 || f.At(0)[0] != 1 {
+		t.Errorf("original mutated: len=%d first=%v", f.Len(), f.At(0))
+	}
+	if cf.Len() != 2 || cf.At(1)[0] != 99 {
+		t.Errorf("clone append lost: len=%d", cf.Len())
+	}
+}
+
+// Concurrent children each run their own Grab/Release and I/O loads; after
+// a sequential absorb the parent's counters equal the sum and its hi-water
+// the max. Run under -race this also proves children share no mutable state.
+func TestConcurrentChildrenAccounting(t *testing.T) {
+	parent := NewDisk(Config{M: 64, B: 4})
+	shared := parent.NewFile(1)
+	w := shared.NewWriter()
+	for i := 0; i < 64; i++ {
+		w.Append([]int64{int64(i)})
+	}
+	w.Close()
+	base := parent.Stats()
+
+	const n = 8
+	children := make([]*Disk, n)
+	for i := range children {
+		children[i] = parent.NewChild()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, c := range children {
+		wg.Add(1)
+		go func(i int, c *Disk) {
+			defer wg.Done()
+			cf := shared.CloneTo(c)
+			for rep := 0; rep <= i; rep++ {
+				r := cf.NewReader()
+				for r.Next() != nil {
+				}
+			}
+			hold := 10 * (i + 1)
+			if err := c.Grab(hold); err != nil {
+				errs[i] = err
+				return
+			}
+			out := c.NewFile(1)
+			ow := out.NewWriter()
+			for j := 0; j < 8; j++ {
+				ow.Append([]int64{int64(j)})
+			}
+			ow.Close()
+			c.Release(hold)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("child %d: %v", i, err)
+		}
+	}
+	for _, c := range children {
+		parent.Absorb(c)
+	}
+	got := parent.Stats().Sub(base)
+	// Child i scans 16 blocks i+1 times and writes 2 blocks.
+	wantReads := int64(0)
+	for i := 0; i < n; i++ {
+		wantReads += int64(16 * (i + 1))
+	}
+	if got.Reads != wantReads || got.Writes != int64(2*n) {
+		t.Errorf("merged I/O = %+v, want reads=%d writes=%d", got, wantReads, 2*n)
+	}
+	if parent.Stats().MemHiWater != 10*n {
+		t.Errorf("merged hi-water = %d, want %d", parent.Stats().MemHiWater, 10*n)
+	}
+}

@@ -86,8 +86,12 @@ func (s Stats) String() string {
 // c*M tuples of memory.
 var ErrMemoryExceeded = errors.New("extmem: memory allowance exceeded")
 
-// Disk is a simulated disk plus the memory accountant. It is not safe for
-// concurrent use; the join algorithms here are sequential, as in the model.
+// Disk is a simulated disk plus the memory accountant. A single Disk is not
+// safe for concurrent use — each instance is confined to one goroutine, as
+// the simulated machine is sequential. Concurrency is expressed with child
+// disks instead: NewChild hands out an independent accounting view per
+// goroutine and Absorb deterministically folds the children's counters back
+// into the parent.
 type Disk struct {
 	cfg      Config
 	stats    Stats
@@ -238,6 +242,47 @@ func (d *Disk) Suspend() func() {
 	return func() { d.suspended-- }
 }
 
+// NewChild returns a thread-confined accounting view of d: the same machine
+// parameters and memory cap, fresh I/O counters, and memory accounting seeded
+// from d's current in-use count (so a child's hi-water mark is exactly what
+// the parent's would have been had the same work run there). Per-phase
+// accounting is enabled on the child iff it is enabled on the parent.
+//
+// A child is an independent Disk: it must be used from a single goroutine,
+// like any Disk, but distinct children may run concurrently. Files created on
+// a child charge the child; files of the parent can be shared read-only with
+// a child via File.CloneTo. When the child's work is done, fold its counters
+// back with Absorb. NewChild does not mutate d, so several children may be
+// created (and run) while the parent is quiescent.
+func (d *Disk) NewChild() *Disk {
+	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse}
+	c.stats.MemHiWater = d.memInUse
+	if d.phaseStats != nil {
+		c.phaseStats = map[string]Stats{}
+	}
+	return c
+}
+
+// Absorb folds a child's accumulated accounting into d, deterministically:
+// I/O counters add, the memory hi-water mark takes the max, and per-phase
+// breakdowns merge (phases the child saw but d did not are created). The
+// child must be quiescent; it is not reset and may be inspected afterwards.
+// Absorbing the same children in any order yields the same parent state —
+// addition and max are commutative — which is what makes concurrent branch
+// accounting deterministic.
+func (d *Disk) Absorb(child *Disk) {
+	d.stats.Reads += child.stats.Reads
+	d.stats.Writes += child.stats.Writes
+	if child.stats.MemHiWater > d.stats.MemHiWater {
+		d.stats.MemHiWater = child.stats.MemHiWater
+	}
+	if d.phaseStats != nil && child.phaseStats != nil {
+		for k, v := range child.phaseStats {
+			d.phaseStats[k] = d.phaseStats[k].Add(v)
+		}
+	}
+}
+
 // File is a sequence of fixed-arity tuples stored on the simulated disk.
 // The backing slice is the "disk contents"; algorithm code must only touch it
 // through Reader, Writer, and ReadBlock so that I/Os are charged.
@@ -257,6 +302,17 @@ func (d *Disk) NewFile(arity int) *File {
 	}
 	d.nextID++
 	return &File{d: d, id: d.nextID, arity: arity}
+}
+
+// CloneTo returns a handle to f's contents that charges its I/O to disk d
+// instead (typically a child of f's disk; see Disk.NewChild). The tuple data
+// is shared, not copied, so the clone is a read-only view: the capacity of
+// the shared slice is pinned, making a stray append through the clone
+// reallocate rather than clobber the original, but callers must still treat
+// clones as frozen — algorithm code only ever appends to files it created.
+func (f *File) CloneTo(d *Disk) *File {
+	d.nextID++
+	return &File{d: d, id: d.nextID, arity: f.arity, data: f.data[:len(f.data):len(f.data)]}
 }
 
 // Arity returns the number of columns per tuple.

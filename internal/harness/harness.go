@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Params configures an experiment run.
@@ -155,6 +156,43 @@ func expKey(id string) int {
 		}
 	}
 	return n
+}
+
+// Outcome pairs an experiment with its result (table or error).
+type Outcome struct {
+	Exp   *Experiment
+	Table *Table
+	Err   error
+}
+
+// RunAll executes the experiments with at most parallelism in flight at once
+// (values <= 1 run sequentially, in order) and returns the outcomes in input
+// order. Experiments are independent — each builds its own simulated disk
+// and seeds its own generators from Params — so concurrent execution yields
+// tables bit-identical to a sequential sweep.
+func RunAll(exps []*Experiment, p Params, parallelism int) []Outcome {
+	out := make([]Outcome, len(exps))
+	if parallelism <= 1 {
+		for i, e := range exps {
+			tab, err := e.Run(p)
+			out[i] = Outcome{Exp: e, Table: tab, Err: err}
+		}
+		return out
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e *Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tab, err := e.Run(p)
+			out[i] = Outcome{Exp: e, Table: tab, Err: err}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
 }
 
 // Ratio formats measured/bound with guards against zero bounds.

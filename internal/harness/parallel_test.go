@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/tuple"
+)
+
+// Running the registry concurrently must reproduce the sequential report
+// byte for byte: experiments are independent and RunAll returns outcomes in
+// registry order regardless of completion order.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry twice")
+	}
+	p := Params{M: 64, B: 8, Scale: 1, Seed: 42}
+	render := func(os []Outcome) []string {
+		out := make([]string, 0, len(os))
+		for _, o := range os {
+			if o.Err != nil {
+				t.Fatalf("%s: %v", o.Exp.ID, o.Err)
+			}
+			out = append(out, o.Exp.ID+"\n"+o.Table.Render())
+		}
+		return out
+	}
+	seq := render(RunAll(All(), p, 1))
+	par := render(RunAll(All(), p, 4))
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("outcome %d differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunAllEmptyAndSingle(t *testing.T) {
+	if got := RunAll(nil, Params{}, 4); len(got) != 0 {
+		t.Errorf("RunAll(nil) = %d outcomes", len(got))
+	}
+	e := All()[0]
+	got := RunAll([]*Experiment{e}, Params{M: 64, B: 8, Scale: 1, Seed: 42}, 4)
+	if len(got) != 1 || got[0].Exp != e || got[0].Err != nil {
+		t.Errorf("single-experiment RunAll = %+v", got)
+	}
+}
+
+// Harness-style workloads (random tree-structured graphs and instances, the
+// same generators the experiments use) through core.Run: every Parallelism
+// setting must match the sequential exhaustive Result exactly, including the
+// winning-branch plan.
+func TestExhaustiveParallelismDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		run := func(parallelism int) (*core.Result, []string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+			g := randomAcyclicGraph(rng, 3+rng.Intn(3))
+			in := randomVerifyInstance(d, rng, g, 20+rng.Intn(20), 4)
+			var rows []string
+			r, err := core.Run(g, in, func(a tuple.Assignment) {
+				rows = append(rows, a.String())
+			}, core.Options{Strategy: core.StrategyExhaustive, Parallelism: parallelism})
+			return r, rows, err
+		}
+		wantRes, wantRows, err := run(0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, n := range []int{1, 4, 8} {
+			gotRes, gotRows, err := run(n)
+			if err != nil {
+				t.Fatalf("seed %d P=%d: %v", seed, n, err)
+			}
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Errorf("seed %d P=%d Result = %+v, want %+v", seed, n, gotRes, wantRes)
+			}
+			if !reflect.DeepEqual(gotRows, wantRows) {
+				t.Errorf("seed %d P=%d emitted rows differ (%d vs %d)", seed, n, len(gotRows), len(wantRows))
+			}
+		}
+	}
+}

@@ -59,14 +59,20 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 			if int64(len(want)) > maxOut {
 				maxOut = int64(len(want))
 			}
-			// All strategies on the raw instance.
-			for _, s := range []core.Strategy{core.StrategyFirst, core.StrategySmallest, core.StrategyExhaustive} {
-				got, err := runSet(g, in, core.Options{Strategy: s})
+			// All strategies on the raw instance, including the concurrent
+			// exhaustive path (which must match the sequential one exactly).
+			for _, o := range []core.Options{
+				{Strategy: core.StrategyFirst},
+				{Strategy: core.StrategySmallest},
+				{Strategy: core.StrategyExhaustive},
+				{Strategy: core.StrategyExhaustive, Parallelism: 4},
+			} {
+				got, err := runSet(g, in, o)
 				if err != nil {
-					return nil, fmt.Errorf("%s trial %d strategy %v: %w", cfg.name, trial, s, err)
+					return nil, fmt.Errorf("%s trial %d strategy %v (parallelism %d): %w", cfg.name, trial, o.Strategy, o.Parallelism, err)
 				}
 				if err := sameSet(got, want); err != nil {
-					return nil, fmt.Errorf("%s trial %d strategy %v on %v: %w", cfg.name, trial, s, g, err)
+					return nil, fmt.Errorf("%s trial %d strategy %v (parallelism %d) on %v: %w", cfg.name, trial, o.Strategy, o.Parallelism, g, err)
 				}
 			}
 			// Ablation variant.

@@ -41,6 +41,15 @@ type Options struct {
 	// Section 6 dispatcher (Algorithms 1/4/5 and the L6/L8 compositions);
 	// Algorithm 2 is used unconditionally instead.
 	NoLineSpecialization bool
+	// Parallelism bounds how many dry-run branches StrategyExhaustive may
+	// explore concurrently, each on a thread-confined child view of the
+	// simulated disk. 0 (the default) uses the sequential reference path;
+	// any N >= 1 uses a worker pool of N goroutines. The Result — counts,
+	// stats, branch count, winning plan, and the emitted rows and their
+	// order — is bit-identical at every setting; parallelism only changes
+	// wall-clock time. Other strategies explore a single branch and ignore
+	// this knob.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +83,8 @@ type Result struct {
 	Stats Stats
 	// PlanningStats additionally includes the dry-run branches explored
 	// under StrategyExhaustive (the paper's round-robin simulation cost).
+	// Paths that explore no dry-run branches — the line-join dispatcher,
+	// StrategyFirst, StrategySmallest — report PlanningStats == Stats.
 	PlanningStats Stats
 	// Branches is how many peeling policies were explored.
 	Branches int
@@ -100,13 +111,12 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 	// data is assumed to already reside on disk when the algorithm starts.
 	restore := disk.Suspend()
 	in := relation.Instance{}
-	for name, i := range q.relIndex {
+	for _, i := range q.relIndex {
 		schema := make(tuple.Schema, len(q.relAttrs[i]))
 		for j, a := range q.relAttrs[i] {
 			schema[j] = q.attrIDs[a]
 		}
 		in[i] = relation.FromTuples(disk, schema, inst.rows[i])
-		_ = name
 	}
 	restore()
 	disk.ResetStats()
@@ -139,19 +149,18 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 	}
 
 	res := &Result{}
-	copts := core.Options{Strategy: opts.Strategy, AssumeReduced: !opts.SkipReduce}
+	copts := core.Options{Strategy: opts.Strategy, AssumeReduced: !opts.SkipReduce, Parallelism: opts.Parallelism}
 	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
-		before := disk.Stats()
 		plan, err := core.RunLine(q.graph, work, coreEmit, copts)
 		if err != nil {
 			return nil, err
 		}
-		delta := disk.Stats().Sub(before)
 		res.Plan = plan.Kind.String() + ": " + plan.Reason
+		// The dispatcher commits to one plan up front: no dry-run branches,
+		// so planning cost equals execution cost (reduction included).
 		res.Stats = fromExtmem(disk.Stats())
 		res.PlanningStats = res.Stats
 		res.Branches = 1
-		_ = delta
 	} else {
 		r, err := core.Run(q.graph, work, coreEmit, copts)
 		if err != nil {
