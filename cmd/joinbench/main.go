@@ -1,73 +1,141 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E18, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E23, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
+//	          [-sortcache=false] [-benchjson BENCH_sortcache.json]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"acyclicjoin/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "run a single experiment (e.g. E4); empty runs all")
-		m      = flag.Int("m", 256, "memory size M in tuples")
-		b      = flag.Int("b", 16, "block size B in tuples")
-		scale  = flag.Int("scale", 1, "input size multiplier")
-		seed   = flag.Int64("seed", 42, "random seed for generated workloads")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		verify = flag.Int("verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
-		par    = flag.Int("parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
+		exp       = flag.String("exp", "", "run a single experiment (e.g. E4); empty runs all")
+		m         = flag.Int("m", 256, "memory size M in tuples")
+		b         = flag.Int("b", 16, "block size B in tuples")
+		scale     = flag.Int("scale", 1, "input size multiplier")
+		seed      = flag.Int64("seed", 42, "random seed for generated workloads")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		verify    = flag.Int("verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
+		par       = flag.Int("parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
+		sortcache = flag.Bool("sortcache", true, "use the charge-replay sort cache (tables are byte-identical either way; off forces every sort through the kernel)")
+		benchjson = flag.String("benchjson", "", "write the machine-readable sort-cache benchmark (wall-clock, I/O, hit rate) to this file and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	os.Exit(run(*exp, *m, *b, *scale, *seed, *list, *verify, *par,
+		*sortcache, *benchjson, *cpuprof, *memprof))
+}
 
-	if *list {
+// run holds the real main so profile writers run before os.Exit.
+func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
+	sortcache bool, benchjson, cpuprof, memprof string) int {
+	if cpuprof != "" {
+		f, err := os.Create(cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprof != "" {
+		defer func() {
+			f, err := os.Create(memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if list {
 		for _, e := range harness.All() {
 			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Artifact, e.Title)
 		}
-		return
+		return 0
 	}
 
-	p := harness.Params{M: *m, B: *b, Scale: *scale, Seed: *seed}
+	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed, NoSortCache: !sortcache}
 
-	if *verify > 0 {
-		tab, err := harness.VerifySweep(p, *verify)
+	if benchjson != "" {
+		res, err := harness.SortCacheBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(benchjson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-15s wall on/off = %.2fms/%.2fms (%.1fx)  IOs %d identical=%v  hit rate %.0f%%\n",
+				w.Name, float64(w.WallNanosCacheOn)/1e6, float64(w.WallNanosCacheOff)/1e6,
+				w.Speedup, w.IOsCacheOn, w.Identical, 100*w.HitRate)
+		}
+		return 0
+	}
+
+	if verify > 0 {
+		tab, err := harness.VerifySweep(p, verify)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verification FAILED: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(tab.Render())
-		return
+		return 0
 	}
 	exps := harness.All()
-	if *exp != "" {
-		e := harness.Get(*exp)
+	if exp != "" {
+		e := harness.Get(exp)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", exp)
+			return 2
 		}
 		exps = []*harness.Experiment{e}
 	} else {
 		fmt.Printf("machine: M=%d tuples, B=%d tuples/block, scale=%d, seed=%d, parallel=%d\n",
-			p.M, p.B, p.Scale, p.Seed, *par)
+			p.M, p.B, p.Scale, p.Seed, par)
 	}
 	// Experiments are independent; RunAll executes up to -parallel of them
 	// concurrently and hands back outcomes in registry order, so the printed
 	// report is byte-identical to a sequential sweep.
-	for _, o := range harness.RunAll(exps, p, *par) {
+	for _, o := range harness.RunAll(exps, p, par) {
 		fmt.Printf("\n[%s] %s\n(paper artifact: %s)\n\n", o.Exp.ID, o.Exp.Title, o.Exp.Artifact)
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Exp.ID, o.Err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(o.Table.Render())
 	}
+	return 0
 }

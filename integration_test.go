@@ -138,7 +138,7 @@ func TestPublicAPIRandomQueriesMatchBruteForce(t *testing.T) {
 		}
 		want := bruteForce(q, raw)
 		opts := Options{
-			Memory:   []int{16, 64}[rng.Intn(2)],
+			Memory:   []int{24, 64}[rng.Intn(2)],
 			Block:    []int{4, 8}[rng.Intn(2)],
 			Strategy: []Strategy{StrategyExhaustive, StrategyFirst, StrategySmallest}[rng.Intn(3)],
 		}

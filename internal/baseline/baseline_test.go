@@ -76,9 +76,9 @@ func TestNestedLoop2(t *testing.T) {
 }
 
 func TestNestedLoop2IOCost(t *testing.T) {
-	// Cost must be ~ (N1/M)*(N2/B): with N1=64, M=8, N2=64, B=4 that is
-	// 8 * 16 = 128 reads for the inner relation plus 32 for the outer.
-	d := disk(8, 4)
+	// Cost must be ~ (N1/M)*(N2/B): with N1=64, M=8, N2=64, B=2 that is
+	// 8 * 32 = 256 reads for the inner relation plus 32 for the outer.
+	d := disk(8, 2)
 	var r1, r2 []tuple.Tuple
 	for i := 0; i < 64; i++ {
 		r1 = append(r1, tuple.Tuple{int64(i), int64(i % 4)})
@@ -91,8 +91,8 @@ func TestNestedLoop2IOCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	ios := d.Stats().IOs()
-	if ios < 128 || ios > 200 {
-		t.Fatalf("NLJ2 IOs = %d, want ~144", ios)
+	if ios < 256 || ios > 350 {
+		t.Fatalf("NLJ2 IOs = %d, want ~288", ios)
 	}
 }
 

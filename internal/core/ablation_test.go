@@ -12,7 +12,7 @@ import (
 func TestDisableHeavySplitCorrectness(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	for trial := 0; trial < 30; trial++ {
-		m := []int{4, 8}[rng.Intn(2)]
+		m := []int{6, 8}[rng.Intn(2)]
 		d := extmem.NewDisk(extmem.Config{M: m, B: 2})
 		g := randomAcyclicQuery(rng, 2+rng.Intn(3))
 		in := randomInstance(d, rng, g, 8+rng.Intn(40), 3) // small domain: skew
@@ -37,7 +37,7 @@ func TestDisableHeavySplitCorrectness(t *testing.T) {
 
 // Heavy values must be exercised by the ablation path too.
 func TestDisableHeavySplitHeavyValues(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g, in := lineInstance(d, rand.New(rand.NewSource(3)), 2, 60, 2) // domain 2: heavy
 	want := oracle(t, g, in)
 	got, _ := collect(t, g, in, Options{DisableHeavySplit: true, Strategy: StrategyFirst})

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/hypergraph"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
@@ -91,6 +92,37 @@ type Options struct {
 	// bit-identical Results — see runExhaustiveParallel for why. Ignored by
 	// the other strategies, which explore a single branch.
 	Parallelism int
+	// SortCache controls the charge-replay sort cache (extsort.Cache)
+	// attached to the instance's disk. On (the default), identical sorts —
+	// the same relation sorted by the same column order on every dry-run
+	// branch — are answered by replaying recorded charges instead of
+	// redoing the work. Every simulated counter stays bit-identical to an
+	// uncached run; only host time changes. Child disks share the parent's
+	// cache, so branches explored in parallel benefit too.
+	SortCache SortCacheMode
+}
+
+// SortCacheMode switches the charge-replay sort cache. The zero value is on.
+type SortCacheMode int
+
+const (
+	// SortCacheOn attaches a sort cache to the run's disk (keeping an
+	// already-attached one, so nested Run calls share the outer cache).
+	SortCacheOn SortCacheMode = iota
+	// SortCacheOff detaches any sort cache: every sort runs the kernel.
+	SortCacheOff
+)
+
+// applySortCache attaches or detaches the sort cache on d per opts.
+func applySortCache(d *extmem.Disk, opts Options) {
+	if d == nil {
+		return
+	}
+	if opts.SortCache == SortCacheOff {
+		extsort.DisableCache(d)
+	} else if extsort.CacheOf(d) == nil {
+		extsort.EnableCache(d)
+	}
 }
 
 // Result reports the outcome of a Run.
@@ -119,6 +151,7 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 		return nil, err
 	}
 	disk := anyDisk(g, in)
+	applySortCache(disk, opts)
 	res := &Result{Policy: map[string]int{}}
 
 	if opts.Strategy != StrategyExhaustive {

@@ -156,7 +156,7 @@ func dedup(rows []tuple.Tuple) []tuple.Tuple {
 
 func TestHeavyValues(t *testing.T) {
 	// Force heavy values: M=4, one join value with 10 tuples on each side.
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.Line(2)
 	var r1, r2 []tuple.Tuple
 	for i := 0; i < 10; i++ {
@@ -178,7 +178,7 @@ func TestHeavyValues(t *testing.T) {
 }
 
 func TestDisconnectedQuery(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.MustNew([]*hypergraph.Edge{
 		{ID: 0, Name: "A", Attrs: []int{0, 1}},
 		{ID: 1, Name: "B", Attrs: []int{5, 6}},
@@ -196,7 +196,7 @@ func TestDisconnectedQuery(t *testing.T) {
 }
 
 func TestBudFiltering(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.MustNew([]*hypergraph.Edge{
 		{ID: 0, Name: "Bud", Attrs: []int{0}},
 		{ID: 1, Name: "L1", Attrs: []int{0, 1}},
@@ -216,7 +216,7 @@ func TestBudFiltering(t *testing.T) {
 }
 
 func TestEmptyRelation(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.Line(3)
 	in := relation.Instance{
 		0: relation.FromTuples(d, tuple.Schema{0, 1}, []tuple.Tuple{{1, 2}}),
@@ -230,7 +230,7 @@ func TestEmptyRelation(t *testing.T) {
 }
 
 func TestRejectsCyclic(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.MustNew([]*hypergraph.Edge{
 		{ID: 0, Attrs: []int{0, 1}}, {ID: 1, Attrs: []int{1, 2}}, {ID: 2, Attrs: []int{0, 2}},
 	})
@@ -250,7 +250,7 @@ func TestRejectsCyclic(t *testing.T) {
 func TestRandomAcyclicCorrectness(t *testing.T) {
 	rng := rand.New(rand.NewSource(31337))
 	for trial := 0; trial < 60; trial++ {
-		m := []int{4, 8, 16}[rng.Intn(3)]
+		m := []int{6, 8, 16}[rng.Intn(3)]
 		d := extmem.NewDisk(extmem.Config{M: m, B: 2})
 		g := randomAcyclicQuery(rng, 2+rng.Intn(4))
 		in := randomInstance(d, rng, g, 4+rng.Intn(40), 4)
@@ -352,7 +352,7 @@ func TestExhaustiveAtLeastAsGoodAsFirst(t *testing.T) {
 // ORIGINAL instance was fully reduced; dropping that bud unfiltered emitted
 // phantom results (caught by the randomized verification sweep).
 func TestBudFilterInsideRecursionWithAssumeReduced(t *testing.T) {
-	d := disk(4, 2) // M=4: six tuples on one v1 value are heavy
+	d := disk(4, 1) // M=4: six tuples on one v1 value are heavy
 	g := hypergraph.Line(3)
 	var r1 []tuple.Tuple
 	for i := int64(0); i < 6; i++ {
@@ -384,7 +384,7 @@ func TestMultiplePetalsOneAttribute(t *testing.T) {
 		{ID: 3, Name: "P2", Attrs: []int{1, 4}},
 	})
 	rng := rand.New(rand.NewSource(44))
-	d := disk(4, 2)
+	d := disk(4, 1)
 	in := randomInstance(d, rng, g, 25, 3)
 	want := oracle(t, g, in)
 	for _, s := range []Strategy{StrategyFirst, StrategyExhaustive} {
@@ -401,7 +401,7 @@ func TestMultiplePetalsOneAttribute(t *testing.T) {
 // A deep line (L9) exercises the n>=9 fallback path of the planner.
 func TestDeepLineFallback(t *testing.T) {
 	rng := rand.New(rand.NewSource(45))
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g, in := lineInstance(d, rng, 9, 10, 3)
 	want := oracle(t, g, in)
 	var got []string

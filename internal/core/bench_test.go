@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -110,24 +109,32 @@ func BenchmarkExhaustiveBranches(b *testing.B) {
 	if ref.Branches < 4 {
 		b.Fatalf("expected a multi-branch query, got %d branches", ref.Branches)
 	}
-	for _, par := range []int{0, 2, 4, 8} {
-		name := "seq"
-		if par > 0 {
-			name = fmt.Sprintf("par%d", par)
-		}
-		b.Run(name, func(b *testing.B) {
+	cases := []struct {
+		name  string
+		par   int
+		cache SortCacheMode
+	}{
+		{"seq", 0, SortCacheOn},
+		{"seq-nocache", 0, SortCacheOff},
+		{"par2", 2, SortCacheOn},
+		{"par4", 4, SortCacheOn},
+		{"par8", 8, SortCacheOn},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
 			d := extmem.NewDisk(extmem.Config{M: 512, B: 32})
 			rng := rand.New(rand.NewSource(7))
 			g, in := workload.LineUniform(d, rng, 5, 2048, 512)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive, Parallelism: par})
+				r, err := Run(g, in, func(tuple.Assignment) {},
+					Options{Strategy: StrategyExhaustive, Parallelism: c.par, SortCache: c.cache})
 				if err != nil {
 					b.Fatal(err)
 				}
 				if !reflect.DeepEqual(r, ref) {
-					b.Fatalf("parallelism %d diverged: %+v, want %+v", par, r, ref)
+					b.Fatalf("%s diverged: %+v, want %+v", c.name, r, ref)
 				}
 			}
 			b.ReportMetric(float64(ref.Branches), "branches")

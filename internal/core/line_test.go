@@ -31,7 +31,7 @@ func sortStrings(s []string) {
 func TestPairJoinMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 30; trial++ {
-		m := []int{2, 4, 8}[rng.Intn(3)]
+		m := []int{6, 8, 12}[rng.Intn(3)]
 		d := extmem.NewDisk(extmem.Config{M: m, B: 2})
 		g, in := lineInstance(d, rng, 2, 5+rng.Intn(40), 4)
 		ra, err := in[0].SortBy(1)
@@ -64,7 +64,7 @@ func TestPairJoinMatchesOracle(t *testing.T) {
 }
 
 func TestPairJoinRequiresSorted(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	r := relation.FromTuples(d, tuple.Schema{0, 1}, []tuple.Tuple{{1, 2}})
 	if err := PairJoin(r, r, 1, func(_, _ tuple.Tuple) error { return nil }); err == nil {
 		t.Fatal("unsorted input accepted")
@@ -72,7 +72,7 @@ func TestPairJoinRequiresSorted(t *testing.T) {
 }
 
 func TestBlockedNLJCounts(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	a := relation.FromTuples(d, tuple.Schema{0}, []tuple.Tuple{{1}, {2}, {3}, {4}, {5}})
 	b := relation.FromTuples(d, tuple.Schema{1}, []tuple.Tuple{{7}, {8}, {9}})
 	n := 0
@@ -87,7 +87,7 @@ func TestBlockedNLJCounts(t *testing.T) {
 func TestLine3MatchesAlgorithm2(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	for trial := 0; trial < 30; trial++ {
-		m := []int{4, 8}[rng.Intn(2)]
+		m := []int{6, 8}[rng.Intn(2)]
 		d := extmem.NewDisk(extmem.Config{M: m, B: 2})
 		g, in := lineInstance(d, rng, 3, 10+rng.Intn(60), 5)
 		want := oracle(t, g, in)
@@ -105,7 +105,7 @@ func TestLine3MatchesAlgorithm2(t *testing.T) {
 
 func TestLine3HeavyPath(t *testing.T) {
 	// Force the heavy branch: M=4, a v1 value with 8 R1 tuples.
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g := hypergraph.Line(3)
 	var r1, r2, r3 []tuple.Tuple
 	for i := 0; i < 8; i++ {
@@ -134,7 +134,7 @@ func TestLine3HeavyPath(t *testing.T) {
 }
 
 func TestLine3RejectsNonLine(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	// A 3-petal star has a ternary core: not a line.
 	g := hypergraph.StarQuery(3)
 	in := relation.Instance{
@@ -156,7 +156,7 @@ func TestLine3RejectsNonLine(t *testing.T) {
 func TestLine5UnbalancedMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	for trial := 0; trial < 20; trial++ {
-		d := disk(4, 2)
+		d := disk(4, 1)
 		g, in := lineInstance(d, rng, 5, 8+rng.Intn(40), 4)
 		want := oracle(t, g, in)
 		got := collectFn(t, func(e Emit) error { return Line5Unbalanced(g, in, e) })
@@ -174,7 +174,7 @@ func TestLine5UnbalancedMatchesOracle(t *testing.T) {
 func TestLine7UnbalancedMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(70))
 	for trial := 0; trial < 8; trial++ {
-		d := disk(4, 2)
+		d := disk(4, 1)
 		g, in := lineInstance(d, rng, 7, 8+rng.Intn(25), 3)
 		want := oracle(t, g, in)
 		got := collectFn(t, func(e Emit) error {
@@ -218,7 +218,7 @@ func TestPlanLineRouting(t *testing.T) {
 func TestRunLineAllShapesMatchOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(4242))
 	for _, n := range []int{2, 3, 4, 5, 6, 7, 8} {
-		d := disk(4, 2)
+		d := disk(4, 1)
 		g, in := lineInstance(d, rng, n, 8+rng.Intn(20), 3)
 		want := oracle(t, g, in)
 		var got []string
@@ -239,7 +239,7 @@ func TestRunLineAllShapesMatchOracle(t *testing.T) {
 }
 
 func TestChunkedOuterJoin(t *testing.T) {
-	d := disk(4, 2)
+	d := disk(4, 1)
 	g, in := lineInstance(d, rand.New(rand.NewSource(8)), 2, 20, 4)
 	want := oracle(t, g, in)
 	// Treat R2 as outer, R1 alone as inner.

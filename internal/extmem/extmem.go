@@ -17,6 +17,7 @@ package extmem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Config fixes the parameters of the simulated machine.
@@ -43,6 +44,13 @@ func (c Config) Validate() error {
 	}
 	if c.B > c.M {
 		return fmt.Errorf("extmem: block size B=%d exceeds memory size M=%d", c.B, c.M)
+	}
+	// Multi-way merging needs M/B - 1 >= 2 input blocks plus one output block
+	// resident at once; smaller ratios would force the sorter to over-subscribe
+	// the M budget, so they are rejected up front instead.
+	if c.M/c.B-1 < 2 {
+		return fmt.Errorf("extmem: M=%d, B=%d gives merge fan-in %d < 2 (need M >= 3B)",
+			c.M, c.B, c.M/c.B-1)
 	}
 	return nil
 }
@@ -104,6 +112,10 @@ type Disk struct {
 	// phase labels I/Os for cost breakdowns; empty means DefaultPhase.
 	phase      string
 	phaseStats map[string]Stats
+	// sortCache is an opaque slot for the extsort charge-replay cache. The
+	// disk only stores and hands it back; extsort owns the concrete type.
+	// Children inherit the slot so concurrent branches share one cache.
+	sortCache any
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -242,6 +254,28 @@ func (d *Disk) Suspend() func() {
 	return func() { d.suspended-- }
 }
 
+// IsSuspended reports whether I/O charging is currently suspended.
+func (d *Disk) IsSuspended() bool { return d.suspended > 0 }
+
+// ReplayIO charges a previously recorded I/O delta as if the work had been
+// redone: the charges respect suspension and the current phase label exactly
+// like the reads and writes they stand in for. Used by the extsort cache to
+// replay a sort's cost on a cache hit.
+func (d *Disk) ReplayIO(reads, writes int64) {
+	if reads > 0 {
+		d.chargeRead(reads)
+	}
+	if writes > 0 {
+		d.chargeWrite(writes)
+	}
+}
+
+// SetSortCache stores the opaque sort-cache handle (nil detaches it).
+func (d *Disk) SetSortCache(c any) { d.sortCache = c }
+
+// SortCache returns the opaque sort-cache handle, or nil when none is set.
+func (d *Disk) SortCache() any { return d.sortCache }
+
 // NewChild returns a thread-confined accounting view of d: the same machine
 // parameters and memory cap, fresh I/O counters, and memory accounting seeded
 // from d's current in-use count (so a child's hi-water mark is exactly what
@@ -255,7 +289,7 @@ func (d *Disk) Suspend() func() {
 // back with Absorb. NewChild does not mutate d, so several children may be
 // created (and run) while the parent is quiescent.
 func (d *Disk) NewChild() *Disk {
-	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse}
+	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, sortCache: d.sortCache}
 	c.stats.MemHiWater = d.memInUse
 	if d.phaseStats != nil {
 		c.phaseStats = map[string]Stats{}
@@ -291,7 +325,20 @@ type File struct {
 	id    int
 	arity int
 	data  []int64 // flat: tuple i occupies data[i*arity : (i+1)*arity]
+	// contentID and version identify the file's contents: contentID is drawn
+	// from a process-global counter at creation and version is bumped on every
+	// mutation, so a (contentID, version) pair observed at some point names an
+	// immutable tuple sequence. Clones share the pair (same bytes); shared
+	// marks such aliases, which take a fresh contentID on their first mutation
+	// so the original's pair keeps naming the original data.
+	contentID uint64
+	version   uint64
+	shared    bool
 }
+
+// contentIDs is the process-global content-identity counter. Atomic because
+// distinct disks (and child disks) may create files concurrently.
+var contentIDs atomic.Uint64
 
 // NewFile creates an empty file of the given tuple arity (number of columns).
 // Arity zero is permitted: such a file stores only a tuple count (used for
@@ -301,7 +348,7 @@ func (d *Disk) NewFile(arity int) *File {
 		panic(fmt.Sprintf("extmem: NewFile: negative arity %d", arity))
 	}
 	d.nextID++
-	return &File{d: d, id: d.nextID, arity: arity}
+	return &File{d: d, id: d.nextID, arity: arity, contentID: contentIDs.Add(1)}
 }
 
 // CloneTo returns a handle to f's contents that charges its I/O to disk d
@@ -312,7 +359,35 @@ func (d *Disk) NewFile(arity int) *File {
 // clones as frozen — algorithm code only ever appends to files it created.
 func (f *File) CloneTo(d *Disk) *File {
 	d.nextID++
-	return &File{d: d, id: d.nextID, arity: f.arity, data: f.data[:len(f.data):len(f.data)]}
+	return &File{d: d, id: d.nextID, arity: f.arity, data: f.data[:len(f.data):len(f.data)],
+		contentID: f.contentID, version: f.version, shared: true}
+}
+
+// Snapshot returns a frozen, disk-less view of f's current contents for
+// bookkeeping (the sort cache keeps one per entry). It charges nothing and
+// cannot perform I/O; its only legitimate use is as a CloneTo source and for
+// zero-cost content verification.
+func (f *File) Snapshot() *File {
+	return &File{arity: f.arity, data: f.data[:len(f.data):len(f.data)],
+		contentID: f.contentID, version: f.version, shared: true}
+}
+
+// ContentID returns the file's content-identity tag. Together with Version it
+// names the current tuple sequence: two files with equal (ContentID, Version)
+// hold identical data (clones); a mutated file never reuses an old pair.
+func (f *File) ContentID() uint64 { return f.contentID }
+
+// Version returns the mutation counter, bumped on every Append and Truncate.
+func (f *File) Version() uint64 { return f.version }
+
+// mutating records a content change: shared aliases (clones) take a fresh
+// contentID so the pair they used to share keeps naming the original data.
+func (f *File) mutating() {
+	if f.shared {
+		f.contentID = contentIDs.Add(1)
+		f.shared = false
+	}
+	f.version++
 }
 
 // Arity returns the number of columns per tuple.
@@ -337,7 +412,10 @@ func (f *File) Blocks() int64 {
 }
 
 // Truncate discards the file's contents.
-func (f *File) Truncate() { f.data = f.data[:0] }
+func (f *File) Truncate() {
+	f.mutating()
+	f.data = f.data[:0]
+}
 
 // slot returns the flat width of one tuple, treating arity 0 as width 1
 // (a sentinel cell) so that lengths and block math stay uniform.
@@ -374,6 +452,7 @@ func (w *Writer) Append(t []int64) {
 	if len(t) != f.arity {
 		panic(fmt.Sprintf("extmem: Writer.Append: tuple arity %d != file arity %d", len(t), f.arity))
 	}
+	f.mutating()
 	if f.arity == 0 {
 		f.data = append(f.data, 0)
 	} else {
@@ -500,6 +579,12 @@ func (f *File) ReadBlock(i int) [][]int64 {
 	}
 	return out
 }
+
+// Raw returns the file's flat backing data without charging an I/O. Like At,
+// it exists for verification and bookkeeping (the sort cache hashes and
+// byte-compares contents with it); algorithm code must not use it to smuggle
+// data past the accountant. The returned slice must not be modified.
+func (f *File) Raw() []int64 { return f.data }
 
 // At returns tuple i without charging an I/O. It exists solely for
 // verification in tests and for zero-cost metadata probes (e.g. checking

@@ -17,7 +17,10 @@ func TestConfigValidate(t *testing.T) {
 		ok  bool
 	}{
 		{Config{M: 100, B: 10}, true},
-		{Config{M: 10, B: 10}, true},
+		{Config{M: 30, B: 10}, true},  // fan-in boundary: M/B-1 = 2
+		{Config{M: 29, B: 10}, false}, // fan-in 1: merge would over-subscribe M
+		{Config{M: 10, B: 10}, false},
+		{Config{M: 3, B: 1}, true},
 		{Config{M: 0, B: 10}, false},
 		{Config{M: 100, B: 0}, false},
 		{Config{M: 5, B: 10}, false},

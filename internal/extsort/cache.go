@@ -1,0 +1,220 @@
+// Charge-replay sort cache.
+//
+// A sort's simulated cost — block reads, block writes, phase attribution, and
+// the peak working-space grab — is a pure function of the input tuple
+// sequence and the parameters (M, B, column order, dedup): run boundaries,
+// merge grouping, and every block charge follow mechanically from the tuple
+// count and contents. So once a sort has run, an identical later sort can be
+// answered by cloning the recorded output file (free, like any CloneTo) and
+// replaying the recorded charges into the disk's accountant, leaving every
+// counter bit-identical to redoing the work while costing near-zero host
+// time.
+//
+// Entries are found two ways. The fast path keys on the input file's
+// (ContentID, Version) pair, which survives CloneTo — so the same relation
+// sorted on every branch of the exhaustive strategy hits from the second
+// branch on, even though each branch sorts through its own child-disk clone.
+// The slow path hashes the input's contents and byte-verifies against the
+// candidate's pinned input snapshot, catching files that are rebuilt with
+// identical contents on every branch (restriction copies, semijoin outputs);
+// a verified slow hit registers the new (ContentID, Version) alias so
+// repeats take the fast path. Verification makes hash collisions harmless.
+//
+// Mutation safety: Writer.Append and File.Truncate bump the file's Version,
+// so entries recorded against an older version simply never hit again. The
+// pinned snapshots stay valid because files here are append-only — appends
+// past a snapshot's pinned length never touch the bytes it covers.
+//
+// Suspension: lookups are allowed while the disk's charging is suspended —
+// ReplayIO respects suspension, so a replayed hit charges exactly what a
+// real suspended sort would (nothing) — but entries are only recorded from
+// non-suspended sorts, since a suspended run observes zero charges.
+package extsort
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"acyclicjoin/internal/extmem"
+)
+
+// cacheKey fixes everything besides the input contents that the sort's
+// output and cost depend on.
+type cacheKey struct {
+	m, b  int
+	dedup bool
+	order string // encoded column order
+}
+
+func newCacheKey(d *extmem.Disk, cols []int, dedup bool) cacheKey {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return cacheKey{m: d.M(), b: d.B(), dedup: dedup, order: b.String()}
+}
+
+// entry records one sort: the frozen output, a pinned snapshot of the input
+// (for slow-path verification), and the charges the sort incurred.
+type entry struct {
+	key    cacheKey
+	arity  int
+	in     *extmem.File // input snapshot, for byte verification
+	out    *extmem.File // output snapshot, CloneTo'd on every hit
+	reads  int64
+	writes int64
+	peak   int // peak working-space grab relative to the sort's start
+}
+
+// idKey is the fast-path index key.
+type idKey struct {
+	cid, ver uint64
+	key      cacheKey
+}
+
+// CacheStats reports cache effectiveness counters. The counters are host-side
+// diagnostics only — they never feed back into simulated I/O — and under
+// concurrent branch exploration the hit/miss split can vary run to run (two
+// branches may both miss on the same key before either stores).
+type CacheStats struct {
+	// Hits and Misses count lookups on the cacheable (column-order) sort path.
+	Hits, Misses int64
+	// BytesReplayed totals the output bytes served by cloning instead of
+	// re-sorting (8 bytes per stored int64 cell).
+	BytesReplayed int64
+}
+
+// Cache is a charge-replay sort cache, safe for concurrent use by the child
+// disks of one exhaustive run. Attach it to a disk with EnableCache; child
+// disks inherit the attachment.
+type Cache struct {
+	mu     sync.Mutex
+	byID   map[idKey]*entry
+	byHash map[uint64][]*entry
+	stats  CacheStats
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{byID: map[idKey]*entry{}, byHash: map[uint64][]*entry{}}
+}
+
+// EnableCache attaches a fresh cache to d (replacing any previous one) and
+// returns it. Children created from d afterwards share the attachment.
+func EnableCache(d *extmem.Disk) *Cache {
+	c := NewCache()
+	d.SetSortCache(c)
+	return c
+}
+
+// DisableCache detaches any cache from d.
+func DisableCache(d *extmem.Disk) { d.SetSortCache(nil) }
+
+// CacheOf returns the cache attached to d, or nil.
+func CacheOf(d *extmem.Disk) *Cache {
+	if c, ok := d.SortCache().(*Cache); ok {
+		return c
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// lookup finds an entry for sorting f under key, trying the identity index
+// first and the content-hash index second. It returns the input's content
+// hash when it had to be computed, so a following store can reuse it.
+func (c *Cache) lookup(f *extmem.File, key cacheKey) (*entry, uint64, bool) {
+	id := idKey{cid: f.ContentID(), ver: f.Version(), key: key}
+	c.mu.Lock()
+	if e, ok := c.byID[id]; ok {
+		c.hit(e)
+		c.mu.Unlock()
+		return e, 0, true
+	}
+	c.mu.Unlock()
+
+	h := hashContents(f)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.byHash[h] {
+		if e.key == key && e.arity == f.Arity() && equalData(e.in.Raw(), f.Raw()) {
+			c.byID[id] = e // alias: future sorts of this file take the fast path
+			c.hit(e)
+			return e, h, true
+		}
+	}
+	c.stats.Misses++
+	return nil, h, false
+}
+
+func (c *Cache) hit(e *entry) {
+	c.stats.Hits++
+	c.stats.BytesReplayed += int64(len(e.out.Raw())) * 8
+}
+
+// store records a completed sort. hash is the input's content hash from the
+// preceding lookup miss.
+func (c *Cache) store(f *extmem.File, key cacheKey, hash uint64, e *entry) {
+	e.key = key
+	e.arity = f.Arity()
+	id := idKey{cid: f.ContentID(), ver: f.Version(), key: key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[id]; dup {
+		return // a concurrent branch raced the same sort in first
+	}
+	c.byID[id] = e
+	c.byHash[hash] = append(c.byHash[hash], e)
+}
+
+// replay applies a cached sort to disk d: the peak grab (for the hi-water
+// mark), the recorded block charges, and a free clone of the output — the
+// exact footprint of redoing the sort. A failing grab leaves the accountant
+// in the same over-committed state a real run's failing grab would.
+func replay(d *extmem.Disk, e *entry) (*extmem.File, error) {
+	if err := d.Grab(e.peak); err != nil {
+		return nil, err
+	}
+	d.Release(e.peak)
+	d.ReplayIO(e.reads, e.writes)
+	return e.out.CloneTo(d), nil
+}
+
+// hashContents is FNV-1a-style over the arity, length, and raw cells. Cheap
+// word-at-a-time mixing is fine here: matches are byte-verified, so the hash
+// only has to bucket well.
+func hashContents(f *extmem.File) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(f.Arity())) * prime64
+	data := f.Raw()
+	h = (h ^ uint64(len(data))) * prime64
+	for _, v := range data {
+		h = (h ^ uint64(v)) * prime64
+	}
+	return h
+}
+
+func equalData(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,12 +3,16 @@
 // tuples are formed in memory, then merged (M/B − 1) ways until one run
 // remains. All I/Os and in-memory working space are charged to the disk's
 // accountant.
+//
+// Two entry-point families exist. SortCols/SortDedupCols order by a column
+// position list; they run the monomorphized kernel (kernel.go) and consult
+// the disk's charge-replay cache (cache.go) when one is attached, so
+// repeated identical sorts cost near-zero host time while charging exactly
+// the same simulated I/O. Sort/SortDedup accept an arbitrary comparator
+// function and are never cached (a function cannot be part of a cache key).
 package extsort
 
 import (
-	"container/heap"
-	"sort"
-
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/tuple"
 )
@@ -27,174 +31,73 @@ func Full() Cmp {
 	return func(a, b tuple.Tuple) int { return tuple.CompareFull(a, b) }
 }
 
-// Sort returns a new file with the tuples of f ordered by cmp.
+// Sort returns a new file with the tuples of f ordered by cmp. Never cached;
+// prefer SortCols when the order is a column list.
 func Sort(f *extmem.File, cmp Cmp) (*extmem.File, error) {
-	return sortFile(f, cmp, false)
+	return sortFile(f, cmpOrder{cmp}, nil, false)
 }
 
 // SortDedup returns a new file ordered by cmp with tuples comparing equal
 // under cmp collapsed to one occurrence. To deduplicate a relation under set
 // semantics pass a full-tuple comparator (e.g. a column order covering every
-// column).
+// column). Never cached; prefer SortDedupCols when the order is a column
+// list.
 func SortDedup(f *extmem.File, cmp Cmp) (*extmem.File, error) {
-	return sortFile(f, cmp, true)
+	return sortFile(f, cmpOrder{cmp}, nil, true)
 }
 
-func sortFile(f *extmem.File, cmp Cmp, dedup bool) (out *extmem.File, err error) {
-	f.Disk().WithPhase("sort", func() {
-		out, err = sortFileInner(f, cmp, dedup)
+// SortCols returns a new file with the tuples of f ordered lexicographically
+// on the given column positions. When a cache is attached to f's disk (see
+// EnableCache) and an identical sort was recorded before, the result is
+// cloned and the recorded charges are replayed instead of redoing the work.
+func SortCols(f *extmem.File, cols []int) (*extmem.File, error) {
+	key := newCacheKey(f.Disk(), cols, false)
+	return sortFile(f, colOrder{cols}, &key, false)
+}
+
+// SortDedupCols is SortCols with tuples comparing equal on the column list
+// collapsed to one occurrence (the first, under the stable order).
+func SortDedupCols(f *extmem.File, cols []int) (*extmem.File, error) {
+	key := newCacheKey(f.Disk(), cols, true)
+	return sortFile(f, colOrder{cols}, &key, true)
+}
+
+// sortFile labels the sort's I/O with the "sort" phase and routes through
+// the cache when key is non-nil and a cache is attached. Entries are only
+// recorded from non-suspended runs (a suspended sort observes zero charges,
+// which must not be replayed into charged contexts).
+func sortFile[C rowCmp](f *extmem.File, cmp C, key *cacheKey, dedup bool) (out *extmem.File, err error) {
+	d := f.Disk()
+	var cache *Cache
+	if key != nil {
+		cache = CacheOf(d)
+	}
+	d.WithPhase("sort", func() {
+		var hash uint64
+		if cache != nil {
+			var e *entry
+			var ok bool
+			if e, hash, ok = cache.lookup(f, *key); ok {
+				out, err = replay(d, e)
+				return
+			}
+		}
+		before := d.Stats()
+		var peak int
+		out, peak, err = sortKernel(f, cmp, dedup)
+		if err != nil || cache == nil || d.IsSuspended() {
+			return
+		}
+		delta := d.Stats().Sub(before)
+		cache.store(f, *key, hash, &entry{
+			in:     f.Snapshot(),
+			out:    out.Snapshot(),
+			reads:  delta.Reads,
+			writes: delta.Writes,
+			peak:   peak,
+		})
 	})
 	return out, err
-}
-
-func sortFileInner(f *extmem.File, cmp Cmp, dedup bool) (*extmem.File, error) {
-	d := f.Disk()
-	m := d.M()
-
-	// Run formation.
-	runs, err := formRuns(f, cmp, dedup, m)
-	if err != nil {
-		return nil, err
-	}
-	if len(runs) == 0 {
-		return d.NewFile(f.Arity()), nil
-	}
-
-	// Merge passes.
-	fanIn := d.M()/d.B() - 1
-	if fanIn < 2 {
-		fanIn = 2
-	}
-	for len(runs) > 1 {
-		var next []*extmem.File
-		for lo := 0; lo < len(runs); lo += fanIn {
-			hi := lo + fanIn
-			if hi > len(runs) {
-				hi = len(runs)
-			}
-			merged, err := mergeRuns(runs[lo:hi], cmp, dedup)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, merged)
-		}
-		runs = next
-	}
-	return runs[0], nil
-}
-
-func formRuns(f *extmem.File, cmp Cmp, dedup bool, m int) ([]*extmem.File, error) {
-	d := f.Disk()
-	var runs []*extmem.File
-	r := f.NewReader()
-	buf := make([]tuple.Tuple, 0, m)
-	for {
-		buf = buf[:0]
-		if err := d.Grab(m); err != nil {
-			return nil, err
-		}
-		for len(buf) < m {
-			t := r.Next()
-			if t == nil {
-				break
-			}
-			buf = append(buf, tuple.Clone(t))
-		}
-		if len(buf) == 0 {
-			d.Release(m)
-			break
-		}
-		sort.SliceStable(buf, func(i, j int) bool { return cmp(buf[i], buf[j]) < 0 })
-		run := d.NewFile(f.Arity())
-		w := run.NewWriter()
-		for i, t := range buf {
-			if dedup && i > 0 && cmp(buf[i-1], t) == 0 {
-				continue
-			}
-			w.Append(t)
-		}
-		w.Close()
-		runs = append(runs, run)
-		d.Release(m)
-		if len(buf) < m {
-			break
-		}
-	}
-	return runs, nil
-}
-
-// mergeHeap is a min-heap of run cursors keyed by their head tuple.
-type mergeHeap struct {
-	cmp     Cmp
-	readers []*extmem.Reader
-	heads   []tuple.Tuple
-	idx     []int // heap order -> reader index; we store reader indices
-}
-
-func (h *mergeHeap) Len() int { return len(h.idx) }
-func (h *mergeHeap) Less(i, j int) bool {
-	c := h.cmp(h.heads[h.idx[i]], h.heads[h.idx[j]])
-	if c != 0 {
-		return c < 0
-	}
-	// Tie-break on run index for stability.
-	return h.idx[i] < h.idx[j]
-}
-func (h *mergeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *mergeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	x := old[n-1]
-	h.idx = old[:n-1]
-	return x
-}
-
-func mergeRuns(runs []*extmem.File, cmp Cmp, dedup bool) (*extmem.File, error) {
-	d := runs[0].Disk()
-	if len(runs) == 1 {
-		return runs[0], nil
-	}
-	// Memory: one block buffer per input run plus one output block.
-	mem := (len(runs) + 1) * d.B()
-	if err := d.Grab(mem); err != nil {
-		return nil, err
-	}
-	defer d.Release(mem)
-
-	h := &mergeHeap{
-		cmp:     cmp,
-		readers: make([]*extmem.Reader, len(runs)),
-		heads:   make([]tuple.Tuple, len(runs)),
-	}
-	for i, run := range runs {
-		h.readers[i] = run.NewReader()
-		if t := h.readers[i].Next(); t != nil {
-			h.heads[i] = tuple.Clone(t)
-			h.idx = append(h.idx, i)
-		}
-	}
-	heap.Init(h)
-
-	out := d.NewFile(runs[0].Arity())
-	w := out.NewWriter()
-	var last tuple.Tuple
-	for h.Len() > 0 {
-		i := h.idx[0]
-		t := h.heads[i]
-		if !dedup || last == nil || cmp(last, t) != 0 {
-			w.Append(t)
-			last = t
-		}
-		if nxt := h.readers[i].Next(); nxt != nil {
-			h.heads[i] = tuple.Clone(nxt)
-			heap.Fix(h, 0)
-		} else {
-			heap.Pop(h)
-		}
-	}
-	w.Close()
-	return out, nil
 }
 
 // IsSorted reports whether f is ordered by cmp, charging the scan's I/Os.

@@ -164,7 +164,7 @@ func TestSortProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 40}
 	f := func(vals []uint8, mRaw, bRaw uint8) bool {
 		b := int(bRaw)%8 + 1
-		m := b * (int(mRaw)%4 + 2)
+		m := b * (int(mRaw)%4 + 3) // multiplier >= 3 keeps the merge fan-in >= 2
 		d := extmem.NewDisk(extmem.Config{M: m, B: b})
 		rows := make([]tuple.Tuple, len(vals))
 		for i, v := range vals {

@@ -1,0 +1,93 @@
+package extsort
+
+import (
+	"sort"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/tuple"
+)
+
+// FuzzSortOracle checks the external sort against an in-memory
+// sort.SliceStable oracle on arbitrary inputs and machine shapes, with the
+// charge-replay cache on and off: the output must equal the oracle's (stable
+// order, dedup keeping the first of each equal group), and every simulated
+// counter must be identical between the cached and uncached runs — including
+// the second, cache-hitting sort.
+func FuzzSortOracle(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 1, 9, 0}, uint8(4), uint8(1), false)
+	f.Add([]byte{}, uint8(3), uint8(0), true)
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5}, uint8(0), uint8(2), true)
+	f.Fuzz(func(t *testing.T, data []byte, mRaw, bRaw uint8, dedup bool) {
+		b := int(bRaw)%8 + 1
+		m := b * (int(mRaw)%4 + 3) // valid fan-in needs M >= 3B
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		// Two columns: the sort key (from the fuzz bytes) and a distinct
+		// sequence number that makes stability observable.
+		rows := make([]tuple.Tuple, len(data))
+		for i, v := range data {
+			rows[i] = tuple.Tuple{int64(v % 16), int64(i)}
+		}
+
+		run := func(cached bool) (extmem.Stats, []tuple.Tuple, []tuple.Tuple) {
+			d := extmem.NewDisk(extmem.Config{M: m, B: b})
+			if cached {
+				EnableCache(d)
+			}
+			file := fill(d, 2, rows)
+			d.ResetStats()
+			sortOnce := func() []tuple.Tuple {
+				var out *extmem.File
+				var err error
+				if dedup {
+					out, err = SortDedupCols(file, []int{0})
+				} else {
+					out, err = SortCols(file, []int{0})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return drain(out)
+			}
+			first := sortOnce()
+			second := sortOnce() // hits when cached
+			return d.Stats(), first, second
+		}
+
+		stOn, firstOn, secondOn := run(true)
+		stOff, firstOff, secondOff := run(false)
+		if stOn != stOff {
+			t.Fatalf("stats diverge: cached %+v, uncached %+v", stOn, stOff)
+		}
+
+		// Oracle: stable sort on the key column; dedup keeps the first.
+		oracle := make([]tuple.Tuple, len(rows))
+		copy(oracle, rows)
+		sort.SliceStable(oracle, func(i, j int) bool { return oracle[i][0] < oracle[j][0] })
+		if dedup {
+			kept := oracle[:0]
+			for i, r := range oracle {
+				if i == 0 || r[0] != kept[len(kept)-1][0] {
+					kept = append(kept, r)
+				}
+			}
+			oracle = kept
+		}
+
+		for name, got := range map[string][]tuple.Tuple{
+			"cached first": firstOn, "cached second": secondOn,
+			"uncached first": firstOff, "uncached second": secondOff,
+		} {
+			if len(got) != len(oracle) {
+				t.Fatalf("%s: %d tuples, oracle %d", name, len(got), len(oracle))
+			}
+			for i := range oracle {
+				if tuple.CompareFull(got[i], oracle[i]) != 0 {
+					t.Fatalf("%s: row %d = %v, oracle %v", name, i, got[i], oracle[i])
+				}
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/count"
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/hypergraph"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
@@ -16,7 +17,11 @@ import (
 )
 
 func newDisk(p Params) *extmem.Disk {
-	return extmem.NewDisk(extmem.Config{M: p.M, B: p.B})
+	d := extmem.NewDisk(extmem.Config{M: p.M, B: p.B})
+	if !p.NoSortCache {
+		extsort.EnableCache(d)
+	}
+	return d
 }
 
 // measure runs fn and returns the I/O delta it charged.

@@ -22,6 +22,11 @@ type Params struct {
 	Scale int
 	// Seed feeds the randomized workloads.
 	Seed int64
+	// NoSortCache disables the charge-replay sort cache that newDisk
+	// attaches by default. Tables are byte-identical either way (replay
+	// charges exactly what the kernel would); the switch exists for A/B
+	// timing and for proving that claim (E23).
+	NoSortCache bool
 }
 
 // WithDefaults fills zero fields.

@@ -48,8 +48,9 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 	for _, cfg := range configs {
 		maxOut := int64(0)
 		for trial := 0; trial < trials; trial++ {
-			m := []int{4, 8, 16}[rng.Intn(3)]
-			d := extmem.NewDisk(extmem.Config{M: m, B: 2 + rng.Intn(3)})
+			b := 2 + rng.Intn(3)
+			m := b * (3 + rng.Intn(3)) // multiplier >= 3 keeps the merge fan-in valid
+			d := extmem.NewDisk(extmem.Config{M: m, B: b})
 			g := cfg.gen(rng)
 			in := randomVerifyInstance(d, rng, g, 5+rng.Intn(30), 2+rng.Intn(3))
 			want, err := oracleSet(g, in)

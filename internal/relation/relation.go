@@ -195,13 +195,12 @@ func (r *Relation) sortBy(attrs []tuple.Attr, dedup bool) (*Relation, error) {
 			return nil, err
 		}
 	}
-	cmp := extsort.ByCols(order)
 	var out *extmem.File
 	var err error
 	if dedup {
-		out, err = extsort.SortDedup(src, cmp)
+		out, err = extsort.SortDedupCols(src, order)
 	} else {
-		out, err = extsort.Sort(src, cmp)
+		out, err = extsort.SortCols(src, order)
 	}
 	if err != nil {
 		return nil, err

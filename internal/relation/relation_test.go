@@ -131,7 +131,7 @@ func TestFindRange(t *testing.T) {
 }
 
 func TestHeavySplit(t *testing.T) {
-	d := disk(4, 2) // M = 4: groups with >= 4 tuples are heavy
+	d := disk(4, 1) // M = 4: groups with >= 4 tuples are heavy
 	var rows []tuple.Tuple
 	for i := 0; i < 6; i++ {
 		rows = append(rows, tuple.Tuple{10, int64(i)}) // heavy group (6)
@@ -192,7 +192,7 @@ func TestLoadChunks(t *testing.T) {
 }
 
 func TestLoadChunksBy(t *testing.T) {
-	d := disk(4, 2) // M=4
+	d := disk(4, 1) // M=4
 	var rows []tuple.Tuple
 	// Groups of size 3, 3, 2, 1: chunks must respect group boundaries.
 	for v, n := range map[int]int{1: 3, 2: 3, 3: 2, 4: 1} {
@@ -344,8 +344,8 @@ func TestEqualHelper(t *testing.T) {
 func TestSplitPartitionProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 30; trial++ {
-		m := 2 + rng.Intn(6)
-		d := extmem.NewDisk(extmem.Config{M: m, B: 2})
+		m := 3 + rng.Intn(5)
+		d := extmem.NewDisk(extmem.Config{M: m, B: 1})
 		n := rng.Intn(60)
 		rows := make([]tuple.Tuple, n)
 		for i := range rows {

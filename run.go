@@ -5,6 +5,7 @@ import (
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/reducer"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
@@ -50,7 +51,24 @@ type Options struct {
 	// wall-clock time. Other strategies explore a single branch and ignore
 	// this knob.
 	Parallelism int
+	// SortCache controls the charge-replay sort cache: identical sorts
+	// (same input contents, column order, M, B) are answered by cloning a
+	// recorded output and replaying the recorded charges. On by default.
+	// Every simulated figure — Stats, PlanningStats, counts — is
+	// bit-identical with the cache on or off; only host wall-clock time
+	// changes. Set SortCacheOff to force every sort through the kernel.
+	SortCache SortCacheMode
 }
+
+// SortCacheMode switches the charge-replay sort cache; the zero value is on.
+type SortCacheMode = core.SortCacheMode
+
+const (
+	// SortCacheOn (the default) reuses recorded sorts via charge replay.
+	SortCacheOn = core.SortCacheOn
+	// SortCacheOff runs every sort through the kernel.
+	SortCacheOff = core.SortCacheOff
+)
 
 func (o Options) withDefaults() Options {
 	if o.Memory == 0 {
@@ -91,7 +109,16 @@ type Result struct {
 	// Plan describes the algorithm used ("acyclic-join (Algorithm 2)",
 	// "line-5 unbalanced (Algorithm 4)", ...).
 	Plan string
+	// SortCache reports charge-replay sort-cache effectiveness. The
+	// counters are host-side diagnostics: they never feed into the
+	// simulated Stats, and under Parallelism > 1 the hit/miss split can
+	// vary run to run (two branches may miss on the same sort before
+	// either stores it). All zero when Options.SortCache is off.
+	SortCache SortCacheStats
 }
+
+// SortCacheStats counts sort-cache hits, misses, and bytes served by replay.
+type SortCacheStats = extsort.CacheStats
 
 // Run evaluates the join, calling emit (if non-nil) once per result. The
 // Row passed to emit is freshly allocated per call; for counting-only runs
@@ -106,6 +133,10 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		return nil, err
 	}
 	disk := extmem.NewDisk(cfg)
+	if opts.SortCache != SortCacheOff {
+		// Attach before the reduction so its sorts are recorded too.
+		extsort.EnableCache(disk)
+	}
 
 	// Load the instance onto the simulated disk without charging: input
 	// data is assumed to already reside on disk when the algorithm starts.
@@ -149,7 +180,12 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 	}
 
 	res := &Result{}
-	copts := core.Options{Strategy: opts.Strategy, AssumeReduced: !opts.SkipReduce, Parallelism: opts.Parallelism}
+	copts := core.Options{
+		Strategy:      opts.Strategy,
+		AssumeReduced: !opts.SkipReduce,
+		Parallelism:   opts.Parallelism,
+		SortCache:     opts.SortCache,
+	}
 	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
 		plan, err := core.RunLine(q.graph, work, coreEmit, copts)
 		if err != nil {
@@ -182,6 +218,9 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		}
 	}
 	res.Count = count
+	if c := extsort.CacheOf(disk); c != nil {
+		res.SortCache = c.Stats()
+	}
 	return res, nil
 }
 
