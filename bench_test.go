@@ -64,6 +64,8 @@ func BenchmarkE21MemorySweep(b *testing.B) { benchExperiment(b, "E21", benchPara
 func BenchmarkE22ReductionAblation(b *testing.B) {
 	benchExperiment(b, "E22", benchParams)
 }
+func BenchmarkE23MemoSortHeavy(b *testing.B)  { benchExperiment(b, "E23", benchParams) }
+func BenchmarkE24OperatorMemoAB(b *testing.B) { benchExperiment(b, "E24", benchParams) }
 
 // BenchmarkPublicAPIRun measures the end-to-end public API on a skewed
 // 3-hop path query, reporting simulated I/Os per operation.

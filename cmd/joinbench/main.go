@@ -1,12 +1,12 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E23, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E24, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-sortcache=false] [-benchjson BENCH_sortcache.json]
+//	          [-opcache=false] [-benchjson BENCH_opcache.json]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -31,19 +31,20 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		verify    = flag.Int("verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
 		par       = flag.Int("parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
-		sortcache = flag.Bool("sortcache", true, "use the charge-replay sort cache (tables are byte-identical either way; off forces every sort through the kernel)")
-		benchjson = flag.String("benchjson", "", "write the machine-readable sort-cache benchmark (wall-clock, I/O, hit rate) to this file and exit")
+		opcache   = flag.Bool("opcache", true, "use the charge-replay operator memo (tables are byte-identical either way; off forces every operator to run for real)")
+		sortcache = flag.Bool("sortcache", true, "deprecated synonym for -opcache (the memo now covers all deterministic operators); either flag set to false disables it")
+		benchjson = flag.String("benchjson", "", "write the machine-readable operator-memo benchmark (wall-clock, I/O, hit rate, evictions) to this file and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	os.Exit(run(*exp, *m, *b, *scale, *seed, *list, *verify, *par,
-		*sortcache, *benchjson, *cpuprof, *memprof))
+		*opcache && *sortcache, *benchjson, *cpuprof, *memprof))
 }
 
 // run holds the real main so profile writers run before os.Exit.
 func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
-	sortcache bool, benchjson, cpuprof, memprof string) int {
+	memo bool, benchjson, cpuprof, memprof string) int {
 	if cpuprof != "" {
 		f, err := os.Create(cpuprof)
 		if err != nil {
@@ -79,28 +80,28 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		return 0
 	}
 
-	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed, NoSortCache: !sortcache}
+	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed, NoMemo: !memo}
 
 	if benchjson != "" {
-		res, err := harness.SortCacheBench(p)
+		res, err := harness.OpMemoBench(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
 			return 1
 		}
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
 			return 1
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(benchjson, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "sort-cache bench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
 			return 1
 		}
 		for _, w := range res.Workloads {
-			fmt.Printf("%-15s wall on/off = %.2fms/%.2fms (%.1fx)  IOs %d identical=%v  hit rate %.0f%%\n",
-				w.Name, float64(w.WallNanosCacheOn)/1e6, float64(w.WallNanosCacheOff)/1e6,
-				w.Speedup, w.IOsCacheOn, w.Identical, 100*w.HitRate)
+			fmt.Printf("%-17s wall on/off = %.2fms/%.2fms (%.1fx)  IOs %d identical=%v bounded=%v  hit rate %.0f%%  evictions %d\n",
+				w.Name, float64(w.WallNanosMemoOn)/1e6, float64(w.WallNanosMemoOff)/1e6,
+				w.Speedup, w.IOs, w.Identical, w.BoundedIdentical, 100*w.HitRate, w.BoundedEvictions)
 		}
 		return 0
 	}

@@ -31,8 +31,8 @@ import (
 	"strings"
 
 	"acyclicjoin/internal/extmem"
-	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
 )
@@ -92,36 +92,59 @@ type Options struct {
 	// bit-identical Results — see runExhaustiveParallel for why. Ignored by
 	// the other strategies, which explore a single branch.
 	Parallelism int
-	// SortCache controls the charge-replay sort cache (extsort.Cache)
-	// attached to the instance's disk. On (the default), identical sorts —
-	// the same relation sorted by the same column order on every dry-run
-	// branch — are answered by replaying recorded charges instead of
-	// redoing the work. Every simulated counter stays bit-identical to an
-	// uncached run; only host time changes. Child disks share the parent's
-	// cache, so branches explored in parallel benefit too.
+	// Memo controls the charge-replay operator memo (internal/opcache)
+	// attached to the instance's disk. On (the default), identical operator
+	// runs — the same relation sorted, semijoined, split, or pair-joined the
+	// same way on every dry-run branch — are answered by replaying recorded
+	// charge tapes instead of redoing the work. Every simulated counter stays
+	// bit-identical to an unmemoized run; only host time changes. Child disks
+	// share the parent's memo, so branches explored in parallel benefit too.
+	Memo MemoMode
+	// MemoLimits bounds the memo (entry count and retained snapshot tuples);
+	// the zero value is unbounded. Eviction only costs recomputation on a
+	// later miss — simulated counters stay bit-identical under any limits.
+	MemoLimits opcache.Limits
+	// SortCache is the historical name for Memo, from when only sorts were
+	// memoized; it now switches the whole operator memo. The memo is off
+	// when EITHER field is off.
+	//
+	// Deprecated: set Memo instead.
 	SortCache SortCacheMode
 }
 
-// SortCacheMode switches the charge-replay sort cache. The zero value is on.
-type SortCacheMode int
+// MemoMode switches the charge-replay operator memo. The zero value is on.
+type MemoMode int
+
+// SortCacheMode is the historical name for MemoMode.
+//
+// Deprecated: use MemoMode.
+type SortCacheMode = MemoMode
 
 const (
-	// SortCacheOn attaches a sort cache to the run's disk (keeping an
-	// already-attached one, so nested Run calls share the outer cache).
-	SortCacheOn SortCacheMode = iota
-	// SortCacheOff detaches any sort cache: every sort runs the kernel.
-	SortCacheOff
+	// MemoOn attaches an operator memo to the run's disk (keeping an
+	// already-attached one, so nested Run calls share the outer memo).
+	MemoOn MemoMode = iota
+	// MemoOff detaches any memo: every operator runs for real.
+	MemoOff
 )
 
-// applySortCache attaches or detaches the sort cache on d per opts.
-func applySortCache(d *extmem.Disk, opts Options) {
+// Historical names for the memo modes.
+//
+// Deprecated: use MemoOn and MemoOff.
+const (
+	SortCacheOn  = MemoOn
+	SortCacheOff = MemoOff
+)
+
+// applyMemo attaches or detaches the operator memo on d per opts.
+func applyMemo(d *extmem.Disk, opts Options) {
 	if d == nil {
 		return
 	}
-	if opts.SortCache == SortCacheOff {
-		extsort.DisableCache(d)
-	} else if extsort.CacheOf(d) == nil {
-		extsort.EnableCache(d)
+	if opts.Memo == MemoOff || opts.SortCache == MemoOff {
+		opcache.Disable(d)
+	} else if opcache.Of(d) == nil {
+		opcache.EnableLimited(d, opts.MemoLimits)
 	}
 }
 
@@ -151,7 +174,7 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 		return nil, err
 	}
 	disk := anyDisk(g, in)
-	applySortCache(disk, opts)
+	applyMemo(disk, opts)
 	res := &Result{Policy: map[string]int{}}
 
 	if opts.Strategy != StrategyExhaustive {
@@ -194,6 +217,7 @@ func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 			opts:    opts,
 			nAttrs:  g.MaxAttr() + 1,
 			chooser: odo.choose,
+			dry:     true,
 		}
 		before := disk.Stats()
 		if err := ex.run(g, in); err != nil {
@@ -347,6 +371,13 @@ type executor struct {
 	chooser chooser
 	emitted int64
 	asg     tuple.Assignment
+	// dry marks a planning-only branch: charges are measured but results
+	// are not enumerated. Result enumeration is the bind-call-unbind chain
+	// over in-memory tuples — it never touches the simulated disk (the emit
+	// model delivers results without writing them), so skipping it leaves
+	// every counter bit-identical while removing the per-result CPU cost
+	// from every dry-run branch. TestDryRunChargesMatchWetRun pins this.
+	dry bool
 }
 
 func (x *executor) run(g *hypergraph.Graph, in relation.Instance) error {
@@ -360,7 +391,12 @@ func (x *executor) run(g *hypergraph.Graph, in relation.Instance) error {
 // bindTuple binds the unbound attributes of schema to t, calls next, then
 // unbinds exactly what it bound. Attributes already bound must agree (they
 // do by construction: restrictions and semijoins preserve shared values).
+// Dry runs skip the whole chain: binding charges nothing, so cutting it here
+// prunes the entire per-result enumeration tree without touching a counter.
 func (x *executor) bindTuple(schema tuple.Schema, t tuple.Tuple, next func()) {
+	if x.dry {
+		return
+	}
 	bindInto(x.asg, schema, t, next)
 }
 

@@ -110,15 +110,15 @@ func BenchmarkExhaustiveBranches(b *testing.B) {
 		b.Fatalf("expected a multi-branch query, got %d branches", ref.Branches)
 	}
 	cases := []struct {
-		name  string
-		par   int
-		cache SortCacheMode
+		name string
+		par  int
+		memo MemoMode
 	}{
-		{"seq", 0, SortCacheOn},
-		{"seq-nocache", 0, SortCacheOff},
-		{"par2", 2, SortCacheOn},
-		{"par4", 4, SortCacheOn},
-		{"par8", 8, SortCacheOn},
+		{"seq", 0, MemoOn},
+		{"seq-nomemo", 0, MemoOff},
+		{"par2", 2, MemoOn},
+		{"par4", 4, MemoOn},
+		{"par8", 8, MemoOn},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -129,7 +129,7 @@ func BenchmarkExhaustiveBranches(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r, err := Run(g, in, func(tuple.Assignment) {},
-					Options{Strategy: StrategyExhaustive, Parallelism: c.par, SortCache: c.cache})
+					Options{Strategy: StrategyExhaustive, Parallelism: c.par, Memo: c.memo})
 				if err != nil {
 					b.Fatal(err)
 				}

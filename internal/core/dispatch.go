@@ -139,7 +139,7 @@ func RunLine(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options)
 	if !ok {
 		return nil, fmt.Errorf("core: %v is not a line join", g)
 	}
-	applySortCache(anyDisk(g, in), opts)
+	applyMemo(anyDisk(g, in), opts)
 	sizes := make([]float64, len(order))
 	for i, e := range order {
 		sizes[i] = float64(in[e.ID].Len())

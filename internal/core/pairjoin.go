@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
 )
@@ -155,20 +157,38 @@ func joinedSchema(a, b tuple.Schema) (out tuple.Schema, bKeep []int) {
 
 // MaterializePairJoin runs PairJoin and writes the combined tuples to a new
 // relation whose schema is A's columns followed by B's non-shared columns.
+// Memoized: repeating the join on identical inputs (e.g. on a later dry-run
+// branch) clones the recorded output and replays the recorded charges,
+// including the blocked-NLJ portion's "nested-loop" phase attribution.
 func MaterializePairJoin(rA, rB *relation.Relation, a tuple.Attr) (*relation.Relation, error) {
+	// Sortedness is view metadata, not file content: guard before the memo so
+	// the error behaviour is identical with the memo on or off.
+	if !rA.SortedByAttr(a) || !rB.SortedByAttr(a) {
+		return nil, fmt.Errorf("core: PairJoin inputs not sorted by v%d", a)
+	}
 	schema, bKeep := joinedSchema(rA.Schema(), rB.Schema())
-	b := relation.NewBuilder(rA.Disk(), schema)
-	buf := make(tuple.Tuple, len(schema))
-	err := PairJoin(rA, rB, a, func(ta, tb tuple.Tuple) error {
-		copy(buf, ta)
-		for i, c := range bKeep {
-			buf[len(ta)+i] = tb[c]
+	outs, _, err := opcache.Do(rA.Disk(), opcache.Op{
+		Kind:   "pairjoin-mat",
+		Params: fmt.Sprintf("%d|%d|%v", rA.Col(a), rB.Col(a), bKeep),
+		Inputs: []opcache.Input{rA.MemoInput(), rB.MemoInput()},
+	}, func() ([]*extmem.File, []int64, error) {
+		b := relation.NewBuilder(rA.Disk(), schema)
+		buf := make(tuple.Tuple, len(schema))
+		err := PairJoin(rA, rB, a, func(ta, tb tuple.Tuple) error {
+			copy(buf, ta)
+			for i, c := range bKeep {
+				buf[len(ta)+i] = tb[c]
+			}
+			b.Add(buf)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
-		b.Add(buf)
-		return nil
+		return []*extmem.File{b.Finish().File()}, nil, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return b.Finish(), nil
+	return relation.FromFile(outs[0], schema, nil), nil
 }

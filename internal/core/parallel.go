@@ -116,6 +116,7 @@ func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options)
 		opts:    opts,
 		nAttrs:  g.MaxAttr() + 1,
 		chooser: b.trail.choose,
+		dry:     true,
 	}
 	b.err = ex.run(g, in.Rebind(b.child))
 }

@@ -110,12 +110,20 @@ type Disk struct {
 	// by algorithm code paths; exists for harness-internal verification).
 	suspended int
 	// phase labels I/Os for cost breakdowns; empty means DefaultPhase.
-	phase      string
+	phase string
+	// phaseDepth counts the WithPhase scopes currently open. Tape recorders
+	// use it to distinguish charges made under the ambient phase (the one the
+	// caller had when recording started) from charges under a phase the
+	// recorded operator pushed itself — even when both happen to carry the
+	// same label.
+	phaseDepth int
 	phaseStats map[string]Stats
-	// sortCache is an opaque slot for the extsort charge-replay cache. The
-	// disk only stores and hands it back; extsort owns the concrete type.
-	// Children inherit the slot so concurrent branches share one cache.
-	sortCache any
+	// opMemo is an opaque slot for the opcache operator memo. The disk only
+	// stores and hands it back; opcache owns the concrete type. Children
+	// inherit the slot so concurrent branches share one memo.
+	opMemo any
+	// recorders is the stack of active charge-tape recorders (see StartTape).
+	recorders []*tapeRecorder
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -162,6 +170,11 @@ func (d *Disk) Grab(n int) error {
 	if d.memInUse > d.stats.MemHiWater {
 		d.stats.MemHiWater = d.memInUse
 	}
+	for _, rec := range d.recorders {
+		if delta := d.memInUse - rec.baseMem; delta > rec.peak {
+			rec.peak = delta
+		}
+	}
 	if d.memInUse > d.memCap {
 		return fmt.Errorf("%w: in use %d > cap %d (c*M)", ErrMemoryExceeded, d.memInUse, d.memCap)
 	}
@@ -187,6 +200,7 @@ func (d *Disk) chargeRead(blocks int64) {
 			s.Reads += blocks
 			d.phaseStats[d.phaseLabel()] = s
 		}
+		d.recordCharge(blocks, 0)
 	}
 }
 
@@ -198,6 +212,7 @@ func (d *Disk) chargeWrite(blocks int64) {
 			s.Writes += blocks
 			d.phaseStats[d.phaseLabel()] = s
 		}
+		d.recordCharge(0, blocks)
 	}
 }
 
@@ -222,7 +237,9 @@ func (d *Disk) EnablePhases() {
 func (d *Disk) WithPhase(name string, fn func()) {
 	prev := d.phase
 	d.phase = name
+	d.phaseDepth++
 	fn()
+	d.phaseDepth--
 	d.phase = prev
 }
 
@@ -259,8 +276,8 @@ func (d *Disk) IsSuspended() bool { return d.suspended > 0 }
 
 // ReplayIO charges a previously recorded I/O delta as if the work had been
 // redone: the charges respect suspension and the current phase label exactly
-// like the reads and writes they stand in for. Used by the extsort cache to
-// replay a sort's cost on a cache hit.
+// like the reads and writes they stand in for. Used by the operator memo to
+// replay a recorded operator's cost on a hit (see ReplayTape).
 func (d *Disk) ReplayIO(reads, writes int64) {
 	if reads > 0 {
 		d.chargeRead(reads)
@@ -270,11 +287,106 @@ func (d *Disk) ReplayIO(reads, writes int64) {
 	}
 }
 
-// SetSortCache stores the opaque sort-cache handle (nil detaches it).
-func (d *Disk) SetSortCache(c any) { d.sortCache = c }
+// SetOpMemo stores the opaque operator-memo handle (nil detaches it).
+func (d *Disk) SetOpMemo(m any) { d.opMemo = m }
 
-// SortCache returns the opaque sort-cache handle, or nil when none is set.
-func (d *Disk) SortCache() any { return d.sortCache }
+// OpMemo returns the opaque operator-memo handle, or nil when none is set.
+func (d *Disk) OpMemo() any { return d.opMemo }
+
+// TapeSegment is one run of same-phase block charges on a charge tape. An
+// empty Phase marks charges made under the ambient phase at recording time;
+// on replay they land under the replayer's current phase, exactly as a re-run
+// of the recorded operator would charge them. A non-empty Phase names a phase
+// the operator pushed itself and is re-pushed absolutely on replay.
+type TapeSegment struct {
+	Phase  string
+	Reads  int64
+	Writes int64
+}
+
+// ChargeTape is the recorded accounting footprint of one operator run: its
+// block charges in order, partitioned into phase segments, plus the peak
+// in-memory tuple count above the level held when recording started.
+type ChargeTape struct {
+	Segments []TapeSegment
+	Peak     int
+}
+
+// IOs returns the total block transfers on the tape.
+func (t ChargeTape) IOs() (reads, writes int64) {
+	for _, s := range t.Segments {
+		reads += s.Reads
+		writes += s.Writes
+	}
+	return
+}
+
+// tapeRecorder accumulates one ChargeTape. baseDepth is the WithPhase nesting
+// depth at StartTape: charges made at that depth are ambient (segment label
+// ""), deeper charges carry their absolute label. baseMem is the in-use tuple
+// count at StartTape, so peak is the operator's own contribution.
+type tapeRecorder struct {
+	baseDepth int
+	baseMem   int
+	peak      int
+	segs      []TapeSegment
+}
+
+// recordCharge appends a (non-suspended) block charge to every active
+// recorder, merging runs of same-label charges into one segment.
+func (d *Disk) recordCharge(reads, writes int64) {
+	for _, rec := range d.recorders {
+		label := ""
+		if d.phaseDepth != rec.baseDepth {
+			label = d.phaseLabel()
+		}
+		if n := len(rec.segs); n > 0 && rec.segs[n-1].Phase == label {
+			rec.segs[n-1].Reads += reads
+			rec.segs[n-1].Writes += writes
+		} else {
+			rec.segs = append(rec.segs, TapeSegment{Phase: label, Reads: reads, Writes: writes})
+		}
+	}
+}
+
+// StartTape pushes a charge-tape recorder: until the matching StopTape, every
+// non-suspended block charge and every memory peak on this disk is captured.
+// Recorders nest (an operator that runs sub-operators records their charges
+// too — including replayed ones, which go through the same charging paths).
+func (d *Disk) StartTape() {
+	d.recorders = append(d.recorders, &tapeRecorder{baseDepth: d.phaseDepth, baseMem: d.memInUse})
+}
+
+// StopTape pops the innermost recorder and returns its tape.
+func (d *Disk) StopTape() ChargeTape {
+	n := len(d.recorders)
+	if n == 0 {
+		panic("extmem: StopTape without StartTape")
+	}
+	rec := d.recorders[n-1]
+	d.recorders = d.recorders[:n-1]
+	return ChargeTape{Segments: rec.segs, Peak: rec.peak}
+}
+
+// ReplayTape re-charges a recorded operator run: the memory peak is touched
+// via Grab/Release (reproducing the hi-water effect of the real run at the
+// current ambient memory level) and each segment's block transfers are
+// replayed under its recorded phase. Charges respect suspension and the
+// current phase label exactly like the I/Os they stand in for.
+func (d *Disk) ReplayTape(t ChargeTape) error {
+	if err := d.Grab(t.Peak); err != nil {
+		return err
+	}
+	d.Release(t.Peak)
+	for _, s := range t.Segments {
+		if s.Phase == "" {
+			d.ReplayIO(s.Reads, s.Writes)
+		} else {
+			d.WithPhase(s.Phase, func() { d.ReplayIO(s.Reads, s.Writes) })
+		}
+	}
+	return nil
+}
 
 // NewChild returns a thread-confined accounting view of d: the same machine
 // parameters and memory cap, fresh I/O counters, and memory accounting seeded
@@ -289,7 +401,7 @@ func (d *Disk) SortCache() any { return d.sortCache }
 // back with Absorb. NewChild does not mutate d, so several children may be
 // created (and run) while the parent is quiescent.
 func (d *Disk) NewChild() *Disk {
-	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, sortCache: d.sortCache}
+	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, opMemo: d.opMemo}
 	c.stats.MemHiWater = d.memInUse
 	if d.phaseStats != nil {
 		c.phaseStats = map[string]Stats{}
@@ -310,7 +422,13 @@ func (d *Disk) Absorb(child *Disk) {
 	if child.stats.MemHiWater > d.stats.MemHiWater {
 		d.stats.MemHiWater = child.stats.MemHiWater
 	}
-	if d.phaseStats != nil && child.phaseStats != nil {
+	if len(child.phaseStats) > 0 {
+		// A child may carry phase breakdowns the parent never enabled (e.g.
+		// EnablePhases called on the child directly); allocating the parent map
+		// here keeps those counters instead of silently dropping them.
+		if d.phaseStats == nil {
+			d.phaseStats = map[string]Stats{}
+		}
 		for k, v := range child.phaseStats {
 			d.phaseStats[k] = d.phaseStats[k].Add(v)
 		}
@@ -364,7 +482,7 @@ func (f *File) CloneTo(d *Disk) *File {
 }
 
 // Snapshot returns a frozen, disk-less view of f's current contents for
-// bookkeeping (the sort cache keeps one per entry). It charges nothing and
+// bookkeeping (the operator memo keeps one per entry). It charges nothing and
 // cannot perform I/O; its only legitimate use is as a CloneTo source and for
 // zero-cost content verification.
 func (f *File) Snapshot() *File {
@@ -581,7 +699,7 @@ func (f *File) ReadBlock(i int) [][]int64 {
 }
 
 // Raw returns the file's flat backing data without charging an I/O. Like At,
-// it exists for verification and bookkeeping (the sort cache hashes and
+// it exists for verification and bookkeeping (the operator memo hashes and
 // byte-compares contents with it); algorithm code must not use it to smuggle
 // data past the accountant. The returned slice must not be modified.
 func (f *File) Raw() []int64 { return f.data }

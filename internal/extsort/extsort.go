@@ -6,14 +6,18 @@
 //
 // Two entry-point families exist. SortCols/SortDedupCols order by a column
 // position list; they run the monomorphized kernel (kernel.go) and consult
-// the disk's charge-replay cache (cache.go) when one is attached, so
+// the disk's operator memo (internal/opcache) when one is attached, so
 // repeated identical sorts cost near-zero host time while charging exactly
 // the same simulated I/O. Sort/SortDedup accept an arbitrary comparator
-// function and are never cached (a function cannot be part of a cache key).
+// function and are never memoized (a function cannot be part of a memo key).
 package extsort
 
 import (
+	"strconv"
+	"strings"
+
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/tuple"
 )
 
@@ -31,71 +35,76 @@ func Full() Cmp {
 	return func(a, b tuple.Tuple) int { return tuple.CompareFull(a, b) }
 }
 
-// Sort returns a new file with the tuples of f ordered by cmp. Never cached;
-// prefer SortCols when the order is a column list.
+// Sort returns a new file with the tuples of f ordered by cmp. Never
+// memoized; prefer SortCols when the order is a column list.
 func Sort(f *extmem.File, cmp Cmp) (*extmem.File, error) {
-	return sortFile(f, cmpOrder{cmp}, nil, false)
+	return sortFile(f, cmpOrder{cmp}, "", false)
 }
 
 // SortDedup returns a new file ordered by cmp with tuples comparing equal
 // under cmp collapsed to one occurrence. To deduplicate a relation under set
 // semantics pass a full-tuple comparator (e.g. a column order covering every
-// column). Never cached; prefer SortDedupCols when the order is a column
+// column). Never memoized; prefer SortDedupCols when the order is a column
 // list.
 func SortDedup(f *extmem.File, cmp Cmp) (*extmem.File, error) {
-	return sortFile(f, cmpOrder{cmp}, nil, true)
+	return sortFile(f, cmpOrder{cmp}, "", true)
 }
 
 // SortCols returns a new file with the tuples of f ordered lexicographically
-// on the given column positions. When a cache is attached to f's disk (see
-// EnableCache) and an identical sort was recorded before, the result is
-// cloned and the recorded charges are replayed instead of redoing the work.
+// on the given column positions. When an operator memo is attached to f's
+// disk (see opcache.Enable) and an identical sort was recorded before, the
+// result is cloned and the recorded charges are replayed instead of redoing
+// the work.
 func SortCols(f *extmem.File, cols []int) (*extmem.File, error) {
-	key := newCacheKey(f.Disk(), cols, false)
-	return sortFile(f, colOrder{cols}, &key, false)
+	return sortFile(f, colOrder{cols}, sortParams(cols), false)
 }
 
 // SortDedupCols is SortCols with tuples comparing equal on the column list
 // collapsed to one occurrence (the first, under the stable order).
 func SortDedupCols(f *extmem.File, cols []int) (*extmem.File, error) {
-	key := newCacheKey(f.Disk(), cols, true)
-	return sortFile(f, colOrder{cols}, &key, true)
+	return sortFile(f, colOrder{cols}, sortParams(cols), true)
+}
+
+// sortParams encodes a column order as memo params.
+func sortParams(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
 }
 
 // sortFile labels the sort's I/O with the "sort" phase and routes through
-// the cache when key is non-nil and a cache is attached. Entries are only
-// recorded from non-suspended runs (a suspended sort observes zero charges,
-// which must not be replayed into charged contexts).
-func sortFile[C rowCmp](f *extmem.File, cmp C, key *cacheKey, dedup bool) (out *extmem.File, err error) {
+// the operator memo when params is non-empty (the column-order entry points)
+// and a memo is attached. The kernel's self-reported peak grab is ignored on
+// the memo path: the memo's charge tape records the same peak through the
+// accountant itself.
+func sortFile[C rowCmp](f *extmem.File, cmp C, params string, dedup bool) (out *extmem.File, err error) {
 	d := f.Disk()
-	var cache *Cache
-	if key != nil {
-		cache = CacheOf(d)
-	}
 	d.WithPhase("sort", func() {
-		var hash uint64
-		if cache != nil {
-			var e *entry
-			var ok bool
-			if e, hash, ok = cache.lookup(f, *key); ok {
-				out, err = replay(d, e)
-				return
-			}
-		}
-		before := d.Stats()
-		var peak int
-		out, peak, err = sortKernel(f, cmp, dedup)
-		if err != nil || cache == nil || d.IsSuspended() {
+		if params == "" {
+			out, _, err = sortKernel(f, cmp, dedup)
 			return
 		}
-		delta := d.Stats().Sub(before)
-		cache.store(f, *key, hash, &entry{
-			in:     f.Snapshot(),
-			out:    out.Snapshot(),
-			reads:  delta.Reads,
-			writes: delta.Writes,
-			peak:   peak,
-		})
+		if dedup {
+			params = "dedup;" + params
+		}
+		var outs []*extmem.File
+		outs, _, err = opcache.Do(d,
+			opcache.Op{Kind: "sort", Params: params, Inputs: []opcache.Input{opcache.In(f)}},
+			func() ([]*extmem.File, []int64, error) {
+				o, _, kerr := sortKernel(f, cmp, dedup)
+				if kerr != nil {
+					return nil, nil, kerr
+				}
+				return []*extmem.File{o}, nil, nil
+			})
+		if err == nil {
+			out = outs[0]
+		}
 	})
 	return out, err
 }

@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/tuple"
 )
 
 // FuzzSortOracle checks the external sort against an in-memory
 // sort.SliceStable oracle on arbitrary inputs and machine shapes, with the
-// charge-replay cache on and off: the output must equal the oracle's (stable
+// operator memo on and off: the output must equal the oracle's (stable
 // order, dedup keeping the first of each equal group), and every simulated
-// counter must be identical between the cached and uncached runs — including
-// the second, cache-hitting sort.
+// counter must be identical between the memoized and direct runs — including
+// the second, memo-hitting sort.
 func FuzzSortOracle(f *testing.F) {
 	f.Add([]byte{3, 1, 2, 1, 9, 0}, uint8(4), uint8(1), false)
 	f.Add([]byte{}, uint8(3), uint8(0), true)
@@ -34,7 +35,7 @@ func FuzzSortOracle(f *testing.F) {
 		run := func(cached bool) (extmem.Stats, []tuple.Tuple, []tuple.Tuple) {
 			d := extmem.NewDisk(extmem.Config{M: m, B: b})
 			if cached {
-				EnableCache(d)
+				opcache.Enable(d)
 			}
 			file := fill(d, 2, rows)
 			d.ResetStats()

@@ -84,7 +84,8 @@ func putI32(s []int32) { i32Pool.Put(&s) }
 
 // sortKernel runs the full external sort and additionally reports the peak
 // working-space grab (relative to the memory in use when the sort started),
-// which the cache replays on a hit. The peak is the run-formation grab M+B:
+// kept for verification in tests (the operator memo records the same peak
+// through the accountant). The peak is the run-formation grab M+B:
 // every merge holds (fanIn+1)·B = (M/B)·B ≤ M tuples, which never exceeds it.
 func sortKernel[C rowCmp](f *extmem.File, cmp C, dedup bool) (*extmem.File, int, error) {
 	d := f.Disk()

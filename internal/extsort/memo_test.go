@@ -5,19 +5,20 @@ import (
 	"testing"
 
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/tuple"
 )
 
-func cachedDisk(m, b int) (*extmem.Disk, *Cache) {
+func memoDisk(m, b int) (*extmem.Disk, *opcache.Memo) {
 	d := extmem.NewDisk(extmem.Config{M: m, B: b})
-	return d, EnableCache(d)
+	return d, opcache.Enable(d)
 }
 
 func TestSortColsEmptyFile(t *testing.T) {
-	for _, cached := range []bool{false, true} {
+	for _, memo := range []bool{false, true} {
 		d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
-		if cached {
-			EnableCache(d)
+		if memo {
+			opcache.Enable(d)
 		}
 		f := d.NewFile(2)
 		s, err := SortCols(f, []int{0, 1})
@@ -25,7 +26,7 @@ func TestSortColsEmptyFile(t *testing.T) {
 			t.Fatal(err)
 		}
 		if s.Len() != 0 {
-			t.Fatalf("cached=%v: len = %d, want 0", cached, s.Len())
+			t.Fatalf("memo=%v: len = %d, want 0", memo, s.Len())
 		}
 		// Sorting an empty file twice must also be consistent.
 		s2, err := SortCols(f, []int{0, 1})
@@ -33,13 +34,13 @@ func TestSortColsEmptyFile(t *testing.T) {
 			t.Fatal(err)
 		}
 		if s2.Len() != 0 {
-			t.Fatalf("cached=%v: second sort len = %d", cached, s2.Len())
+			t.Fatalf("memo=%v: second sort len = %d", memo, s2.Len())
 		}
 	}
 }
 
 func TestSortColsSingleTuple(t *testing.T) {
-	d, _ := cachedDisk(16, 4)
+	d, _ := memoDisk(16, 4)
 	f := fill(d, 3, []tuple.Tuple{{7, 8, 9}})
 	s, err := SortCols(f, []int{2, 0})
 	if err != nil {
@@ -52,7 +53,7 @@ func TestSortColsSingleTuple(t *testing.T) {
 }
 
 func TestSortDedupColsAllEqual(t *testing.T) {
-	d, _ := cachedDisk(8, 2)
+	d, _ := memoDisk(8, 2)
 	rows := make([]tuple.Tuple, 50)
 	for i := range rows {
 		rows[i] = tuple.Tuple{4, 4}
@@ -65,30 +66,30 @@ func TestSortDedupColsAllEqual(t *testing.T) {
 	if got := drain(s); len(got) != 1 || got[0][0] != 4 {
 		t.Fatalf("dedup of all-equal: %v", got)
 	}
-	// Repeat through the cache: same single tuple.
+	// Repeat through the memo: same single tuple.
 	s2, err := SortDedupCols(f, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := drain(s2); len(got) != 1 {
-		t.Fatalf("cached dedup of all-equal: %v", got)
+		t.Fatalf("memoized dedup of all-equal: %v", got)
 	}
 }
 
-// A cache hit must leave every counter — reads, writes, hi-water, and the
+// A memo hit must leave every counter — reads, writes, hi-water, and the
 // per-phase breakdown — exactly as a real re-sort would.
-func TestCacheReplayBitIdentical(t *testing.T) {
+func TestMemoReplayBitIdentical(t *testing.T) {
 	rows := []tuple.Tuple{{5, 1}, {3, 2}, {5, 0}, {1, 9}, {2, 2}, {3, 3}, {0, 0}, {4, 4}, {2, 1}}
-	run := func(cached bool) (extmem.Stats, map[string]extmem.Stats, []tuple.Tuple) {
+	run := func(memo bool) (extmem.Stats, map[string]extmem.Stats, []tuple.Tuple) {
 		d := extmem.NewDisk(extmem.Config{M: 4, B: 1})
 		d.EnablePhases()
-		if cached {
-			EnableCache(d)
+		if memo {
+			opcache.Enable(d)
 		}
 		f := fill(d, 2, rows)
 		d.ResetStats()
 		d.ResetPhases()
-		// Sort twice: the second sort hits when the cache is on.
+		// Sort twice: the second sort hits when the memo is on.
 		if _, err := SortCols(f, []int{0, 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -101,45 +102,65 @@ func TestCacheReplayBitIdentical(t *testing.T) {
 	stOn, phOn, outOn := run(true)
 	stOff, phOff, outOff := run(false)
 	if stOn != stOff {
-		t.Fatalf("stats diverge: cached %+v, uncached %+v", stOn, stOff)
+		t.Fatalf("stats diverge: memoized %+v, direct %+v", stOn, stOff)
 	}
 	if !reflect.DeepEqual(phOn, phOff) {
-		t.Fatalf("phase stats diverge: cached %+v, uncached %+v", phOn, phOff)
+		t.Fatalf("phase stats diverge: memoized %+v, direct %+v", phOn, phOff)
 	}
 	if !reflect.DeepEqual(outOn, outOff) {
 		t.Fatalf("outputs diverge: %v vs %v", outOn, outOff)
 	}
 }
 
-func TestCacheHitCounters(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+func TestMemoHitCounters(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	f := fill(d, 2, []tuple.Tuple{{2, 1}, {1, 2}, {3, 0}})
 	for i := 0; i < 3; i++ {
 		if _, err := SortCols(f, []int{0}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cs := c.Stats()
-	if cs.Misses != 1 || cs.Hits != 2 {
-		t.Fatalf("hits/misses = %d/%d, want 2/1", cs.Hits, cs.Misses)
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
 	}
-	if cs.BytesReplayed != 2*3*2*8 {
-		t.Fatalf("bytes replayed = %d, want %d", cs.BytesReplayed, 2*3*2*8)
+	if st.BytesReplayed != 2*3*2*8 {
+		t.Fatalf("bytes replayed = %d, want %d", st.BytesReplayed, 2*3*2*8)
 	}
 	// A different column order is a different key: miss again.
 	if _, err := SortCols(f, []int{1}); err != nil {
 		t.Fatal(err)
 	}
-	if cs = c.Stats(); cs.Misses != 2 {
-		t.Fatalf("misses after new order = %d, want 2", cs.Misses)
+	if st = m.Stats(); st.Misses != 2 {
+		t.Fatalf("misses after new order = %d, want 2", st.Misses)
+	}
+}
+
+// Sort and dedup-sort of the same file under the same column order are
+// distinct memo keys.
+func TestMemoDedupDistinctFromSort(t *testing.T) {
+	d, m := memoDisk(16, 4)
+	f := fill(d, 1, []tuple.Tuple{{2}, {2}, {1}})
+	if _, err := SortCols(f, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SortDedupCols(f, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("dedup len = %d, want 2 (hit the plain sort's entry?)", s.Len())
+	}
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 0/2", st.Hits, st.Misses)
 	}
 }
 
 // Two files built independently with identical contents share one entry via
 // the content-hash path (the exhaustive strategy rebuilds restriction copies
 // per branch with exactly this shape).
-func TestCacheContentHashHitAcrossFiles(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+func TestMemoContentHashHitAcrossFiles(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	rows := []tuple.Tuple{{9, 1}, {8, 2}, {7, 3}, {6, 4}}
 	f1 := fill(d, 2, rows)
 	f2 := fill(d, 2, rows)
@@ -154,8 +175,8 @@ func TestCacheContentHashHitAcrossFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cs := c.Stats(); cs.Hits != 1 || cs.Misses != 1 {
-		t.Fatalf("hits/misses = %d/%d, want 1/1", cs.Hits, cs.Misses)
+	if st := m.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
 	}
 	// The alias registered by the slow path makes the next lookup fast; the
 	// charges are the same either way.
@@ -172,10 +193,10 @@ func TestCacheContentHashHitAcrossFiles(t *testing.T) {
 	}
 }
 
-// The cache also hits across CloneTo views of the same file without hashing
+// The memo also hits across CloneTo views of the same file without hashing
 // (ContentID and Version survive the clone).
-func TestCacheHitAcrossClones(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+func TestMemoHitAcrossClones(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	f := fill(d, 1, []tuple.Tuple{{3}, {1}, {2}})
 	if _, err := SortCols(f, []int{0}); err != nil {
 		t.Fatal(err)
@@ -189,8 +210,8 @@ func TestCacheHitAcrossClones(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cs := c.Stats(); cs.Hits != 1 {
-		t.Fatalf("hits = %d, want 1 (clone should hit the parent's entry)", cs.Hits)
+	if st := m.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (clone should hit the parent's entry)", st.Hits)
 	}
 	if got := drain(s); got[0][0] != 1 || got[2][0] != 3 {
 		t.Fatalf("clone sort output: %v", got)
@@ -199,8 +220,8 @@ func TestCacheHitAcrossClones(t *testing.T) {
 
 // Appending to a file bumps its version: older entries must not hit, and the
 // new sort must see the new tuple.
-func TestCacheInvalidationOnAppend(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+func TestMemoInvalidationOnAppend(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	f := fill(d, 1, []tuple.Tuple{{2}, {1}})
 	if _, err := SortCols(f, []int{0}); err != nil {
 		t.Fatal(err)
@@ -216,43 +237,43 @@ func TestCacheInvalidationOnAppend(t *testing.T) {
 	if len(got) != 3 || got[0][0] != 0 {
 		t.Fatalf("post-append sort stale: %v", got)
 	}
-	if cs := c.Stats(); cs.Hits != 0 || cs.Misses != 2 {
-		t.Fatalf("hits/misses = %d/%d, want 0/2", cs.Hits, cs.Misses)
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 0/2", st.Hits, st.Misses)
 	}
 }
 
 // Suspended sorts must not record entries: their observed charges are zero,
 // which would corrupt later replays into charged contexts.
-func TestCacheSkipsSuspendedSorts(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+func TestMemoSkipsSuspendedSorts(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	f := fill(d, 1, []tuple.Tuple{{2}, {1}})
 	restore := d.Suspend()
 	if _, err := SortCols(f, []int{0}); err != nil {
 		t.Fatal(err)
 	}
 	restore()
-	if cs := c.Stats(); cs.Misses != 1 {
-		t.Fatalf("misses = %d, want 1", cs.Misses)
+	if st := m.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
 	}
 	d.ResetStats()
 	if _, err := SortCols(f, []int{0}); err != nil {
 		t.Fatal(err)
 	}
 	if d.Stats().IOs() == 0 {
-		t.Fatal("post-suspend sort charged nothing: a zero-charge entry leaked")
+		t.Fatal("post-suspend sort charged nothing: an empty-tape entry leaked")
 	}
 }
 
-// The generic comparator entry points never consult the cache.
-func TestGenericSortUncached(t *testing.T) {
-	d, c := cachedDisk(16, 4)
+// The generic comparator entry points never consult the memo.
+func TestGenericSortUnmemoized(t *testing.T) {
+	d, m := memoDisk(16, 4)
 	f := fill(d, 1, []tuple.Tuple{{2}, {1}})
 	for i := 0; i < 2; i++ {
 		if _, err := Sort(f, ByCols([]int{0})); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if cs := c.Stats(); cs.Hits != 0 || cs.Misses != 0 {
-		t.Fatalf("generic Sort touched the cache: %+v", cs)
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("generic Sort touched the memo: %+v", st)
 	}
 }

@@ -9,8 +9,8 @@ import (
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/count"
 	"acyclicjoin/internal/extmem"
-	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
 	"acyclicjoin/internal/workload"
@@ -18,8 +18,8 @@ import (
 
 func newDisk(p Params) *extmem.Disk {
 	d := extmem.NewDisk(extmem.Config{M: p.M, B: p.B})
-	if !p.NoSortCache {
-		extsort.EnableCache(d)
+	if !p.NoMemo && !p.NoSortCache {
+		opcache.Enable(d)
 	}
 	return d
 }

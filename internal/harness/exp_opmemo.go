@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/opcache"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "E24",
+		Artifact: "operator memo with branch-prefix reuse (implementation artifact)",
+		Title:    "Memo A/B across operator-diverse workloads: off vs on vs bounded vs parallel, all bit-identical",
+		Run:      runE24,
+	})
+}
+
+// memoWorkloads widen the E23 sweep to exercise every memoized operator
+// kind: L3 worst case leans on sorts and the materialized pairwise join,
+// L4/L5 uniform on the reducer's semijoin passes (L5 adds a deep branch
+// space for prefix reuse), and the star worst case on projection and the
+// heavy/light split. Each build uses only the passed disk and rng, so every
+// arm sees an identical instance.
+var memoWorkloads = []struct {
+	name  string
+	build func(p Params, d *extmem.Disk, rng *rand.Rand) (*hypergraph.Graph, relation.Instance)
+}{
+	{"L3 worst case", func(p Params, d *extmem.Disk, _ *rand.Rand) (*hypergraph.Graph, relation.Instance) {
+		n := p.M * 2 * p.Scale
+		return workload.Line3WorstCase(d, n, n)
+	}},
+	{"L4 uniform", func(p Params, d *extmem.Disk, rng *rand.Rand) (*hypergraph.Graph, relation.Instance) {
+		return workload.LineUniform(d, rng, 4, p.M*2*p.Scale, p.M*p.Scale)
+	}},
+	{"L5 uniform", func(p Params, d *extmem.Disk, rng *rand.Rand) (*hypergraph.Graph, relation.Instance) {
+		return workload.LineUniform(d, rng, 5, p.M*2*p.Scale, p.M*p.Scale)
+	}},
+	{"star-2 worst case", func(p Params, d *extmem.Disk, _ *rand.Rand) (*hypergraph.Graph, relation.Instance) {
+		n := p.B * 4 * p.Scale
+		return workload.StarWorstCase(d, []int{n, n})
+	}},
+}
+
+// memoArm selects one configuration of a memo A/B run.
+type memoArm struct {
+	mode        core.MemoMode
+	limits      opcache.Limits
+	parallelism int
+}
+
+// runMemoArm runs one exhaustive-strategy evaluation of memo workload w
+// under the given arm, returning the run's I/O stats, result count, memo
+// counters, and host wall-clock time.
+func runMemoArm(p Params, w int, arm memoArm) (extmem.Stats, int64, opcache.Stats, time.Duration, error) {
+	ap := p
+	ap.NoMemo = arm.mode == core.MemoOff
+	d := extmem.NewDisk(extmem.Config{M: ap.M, B: ap.B})
+	if !ap.NoMemo {
+		opcache.EnableLimited(d, arm.limits)
+	}
+	rng := rand.New(rand.NewSource(p.Seed + int64(w)))
+	restore := d.Suspend()
+	g, in := memoWorkloads[w].build(p, d, rng)
+	restore()
+	d.ResetStats()
+	var n int64
+	start := time.Now()
+	_, err := core.Run(g, in, countEmit(&n), core.Options{
+		Strategy:    core.StrategyExhaustive,
+		Parallelism: arm.parallelism,
+		Memo:        arm.mode,
+		MemoLimits:  arm.limits,
+	})
+	elapsed := time.Since(start)
+	var cs opcache.Stats
+	if m := opcache.Of(d); m != nil {
+		cs = m.Stats()
+	}
+	return d.Stats(), n, cs, elapsed, err
+}
+
+// e24BoundedLimits is the deliberately tight budget of E24's bounded arm:
+// small enough to force evictions on every workload, proving eviction only
+// costs recomputation and never changes a counter.
+var e24BoundedLimits = opcache.Limits{MaxEntries: 4}
+
+func runE24(p Params) (*Table, error) {
+	p = p.WithDefaults()
+	t := &Table{
+		Title: "E24: operator memo A/B (exhaustive strategy): off vs on vs bounded(4 entries) vs parallel(4)",
+		Header: []string{"workload", "IOs", "identical", "hits", "misses",
+			"KB replayed", "evictions (bounded)"},
+	}
+	arms := []struct {
+		name string
+		arm  memoArm
+	}{
+		{"on", memoArm{mode: core.MemoOn}},
+		{"bounded", memoArm{mode: core.MemoOn, limits: e24BoundedLimits}},
+		{"parallel", memoArm{mode: core.MemoOn, parallelism: 4}},
+	}
+	for w := range memoWorkloads {
+		ref, nRef, _, _, err := runMemoArm(p, w, memoArm{mode: core.MemoOff})
+		if err != nil {
+			return nil, err
+		}
+		var onStats, boundedStats opcache.Stats
+		for _, a := range arms {
+			st, n, cs, _, err := runMemoArm(p, w, a.arm)
+			if err != nil {
+				return nil, fmt.Errorf("E24 %s arm %s: %w", memoWorkloads[w].name, a.name, err)
+			}
+			if st != ref || n != nRef {
+				return nil, fmt.Errorf("E24 %s: arm %s changed the simulation: %+v (%d rows) vs memo-off %+v (%d rows)",
+					memoWorkloads[w].name, a.name, st, n, ref, nRef)
+			}
+			switch a.name {
+			case "on":
+				onStats = cs
+			case "bounded":
+				boundedStats = cs
+			}
+		}
+		t.AddRow(memoWorkloads[w].name, ref.IOs(), "yes",
+			onStats.Hits, onStats.Misses, onStats.BytesReplayed/1024, boundedStats.Evictions)
+	}
+	t.Notes = append(t.Notes,
+		"identical = reads, writes, hi-water, and result counts match the memo-off reference bit for bit in every arm",
+		"bounded arm caps the memo at 4 entries (LRU): evictions cost recomputation only, never a counter",
+		"parallel arm explores 4 dry-run branches concurrently on child disks sharing one memo")
+	return t, nil
+}
+
+// OpMemoBenchResult is the machine-readable operator-memo benchmark record
+// written by joinbench -benchjson (committed as BENCH_opcache.json).
+type OpMemoBenchResult struct {
+	M, B, Scale int
+	Seed        int64
+	Workloads   []OpMemoBenchRow
+}
+
+// OpMemoBenchRow reports one workload's A/B measurement.
+type OpMemoBenchRow struct {
+	Name             string
+	WallNanosMemoOn  int64
+	WallNanosMemoOff int64
+	Speedup          float64 // off/on wall-clock ratio
+	IOs              int64   // identical in every arm by construction
+	IOsPerResult     float64
+	Results          int64
+	Identical        bool // simulated stats and result counts match exactly
+	Hits, Misses     int64
+	HitRate          float64
+	BytesReplayed    int64
+	BoundedEvictions int64 // evictions under the E24 bounded budget
+	BoundedIdentical bool
+}
+
+// OpMemoBench runs the E24 workloads with host timing and returns the
+// machine-readable record. Wall-clock numbers are best-of-3 per arm to damp
+// scheduler noise; all simulated figures are deterministic.
+func OpMemoBench(p Params) (*OpMemoBenchResult, error) {
+	p = p.WithDefaults()
+	res := &OpMemoBenchResult{M: p.M, B: p.B, Scale: p.Scale, Seed: p.Seed}
+	for w := range memoWorkloads {
+		row := OpMemoBenchRow{Name: memoWorkloads[w].name}
+		var on, off extmem.Stats
+		var nOn, nOff int64
+		for rep := 0; rep < 3; rep++ {
+			st, n, cs, el, err := runMemoArm(p, w, memoArm{mode: core.MemoOn})
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || el.Nanoseconds() < row.WallNanosMemoOn {
+				row.WallNanosMemoOn = el.Nanoseconds()
+			}
+			on, nOn = st, n
+			row.Hits, row.Misses, row.BytesReplayed = cs.Hits, cs.Misses, cs.BytesReplayed
+
+			st, n, _, el, err = runMemoArm(p, w, memoArm{mode: core.MemoOff})
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || el.Nanoseconds() < row.WallNanosMemoOff {
+				row.WallNanosMemoOff = el.Nanoseconds()
+			}
+			off, nOff = st, n
+		}
+		bst, bn, bcs, _, err := runMemoArm(p, w, memoArm{mode: core.MemoOn, limits: e24BoundedLimits})
+		if err != nil {
+			return nil, err
+		}
+		row.IOs = on.IOs()
+		row.Results = nOn
+		if nOn > 0 {
+			row.IOsPerResult = float64(on.IOs()) / float64(nOn)
+		}
+		row.Identical = on == off && nOn == nOff
+		row.BoundedEvictions = bcs.Evictions
+		row.BoundedIdentical = bst == off && bn == nOff
+		if row.WallNanosMemoOn > 0 {
+			row.Speedup = float64(row.WallNanosMemoOff) / float64(row.WallNanosMemoOn)
+		}
+		if lk := row.Hits + row.Misses; lk > 0 {
+			row.HitRate = float64(row.Hits) / float64(lk)
+		}
+		res.Workloads = append(res.Workloads, row)
+	}
+	return res, nil
+}

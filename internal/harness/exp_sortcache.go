@@ -7,8 +7,8 @@ import (
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
-	"acyclicjoin/internal/extsort"
 	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/workload"
 )
@@ -16,16 +16,18 @@ import (
 func init() {
 	Register(&Experiment{
 		ID:       "E23",
-		Artifact: "charge-replay sort cache (implementation artifact)",
-		Title:    "Sort-cache A/B: simulated I/O bit-identical with the cache on and off",
+		Artifact: "charge-replay operator memo (implementation artifact)",
+		Title:    "Memo A/B on sort-heavy runs: simulated I/O bit-identical with the memo on and off",
 		Run:      runE23,
 	})
 }
 
-// sortCacheWorkloads are the A/B subjects: exhaustive-strategy runs whose
-// dry-run branches re-sort the same relations, so the cache has real work to
-// absorb. Each build uses only the passed disk and rng, so the on and off
-// arms see identical instances.
+// sortCacheWorkloads are the historical E23 A/B subjects: exhaustive-strategy
+// runs whose dry-run branches re-sort the same relations, so the memo has
+// real work to absorb (these runs are dominated by memoized sorts, hence the
+// name). Each build uses only the passed disk and rng, so the on and off
+// arms see identical instances. E24 (exp_opmemo.go) widens the sweep to
+// operator-diverse workloads and bounded/parallel arms.
 var sortCacheWorkloads = []struct {
 	name  string
 	build func(p Params, d *extmem.Disk, rng *rand.Rand) (*hypergraph.Graph, relation.Instance)
@@ -40,31 +42,31 @@ var sortCacheWorkloads = []struct {
 }
 
 // runSortCacheArm runs one exhaustive-strategy evaluation of workload w with
-// the cache on or off, returning the run's I/O stats, result count, cache
+// the memo on or off, returning the run's I/O stats, result count, memo
 // counters, and host wall-clock time.
-func runSortCacheArm(p Params, w int, cached bool) (extmem.Stats, int64, extsort.CacheStats, time.Duration, error) {
+func runSortCacheArm(p Params, w int, cached bool) (extmem.Stats, int64, opcache.Stats, time.Duration, error) {
 	arm := p
-	arm.NoSortCache = !cached
+	arm.NoMemo = !cached
 	d := newDisk(arm)
 	rng := rand.New(rand.NewSource(p.Seed + int64(w)))
 	restore := d.Suspend()
 	g, in := sortCacheWorkloads[w].build(p, d, rng)
 	restore()
 	d.ResetStats()
-	mode := core.SortCacheOn
+	mode := core.MemoOn
 	if !cached {
-		mode = core.SortCacheOff
+		mode = core.MemoOff
 	}
 	var n int64
 	start := time.Now()
 	_, err := core.Run(g, in, countEmit(&n), core.Options{
-		Strategy:  core.StrategyExhaustive,
-		SortCache: mode,
+		Strategy: core.StrategyExhaustive,
+		Memo:     mode,
 	})
 	elapsed := time.Since(start)
-	var cs extsort.CacheStats
-	if c := extsort.CacheOf(d); c != nil {
-		cs = c.Stats()
+	var cs opcache.Stats
+	if m := opcache.Of(d); m != nil {
+		cs = m.Stats()
 	}
 	return d.Stats(), n, cs, elapsed, err
 }
@@ -72,8 +74,8 @@ func runSortCacheArm(p Params, w int, cached bool) (extmem.Stats, int64, extsort
 func runE23(p Params) (*Table, error) {
 	p = p.WithDefaults()
 	t := &Table{
-		Title: "E23: charge-replay sort cache A/B (exhaustive strategy)",
-		Header: []string{"workload", "IOs (cache on)", "IOs (cache off)", "identical",
+		Title: "E23: charge-replay operator memo A/B (exhaustive strategy, sort-heavy)",
+		Header: []string{"workload", "IOs (memo on)", "IOs (memo off)", "identical",
 			"hits", "misses", "KB replayed"},
 	}
 	for w := range sortCacheWorkloads {
@@ -86,78 +88,13 @@ func runE23(p Params) (*Table, error) {
 			return nil, err
 		}
 		if on != off || nOn != nOff {
-			return nil, fmt.Errorf("E23 %s: cache changed the simulation: on=%+v (%d rows), off=%+v (%d rows)",
+			return nil, fmt.Errorf("E23 %s: memo changed the simulation: on=%+v (%d rows), off=%+v (%d rows)",
 				sortCacheWorkloads[w].name, on, nOn, off, nOff)
 		}
 		t.AddRow(sortCacheWorkloads[w].name, on.IOs(), off.IOs(), "yes",
 			cs.Hits, cs.Misses, cs.BytesReplayed/1024)
 	}
 	t.Notes = append(t.Notes,
-		"identical = every counter (reads, writes, hi-water) matches bit for bit; the cache only buys host time")
+		"identical = every counter (reads, writes, hi-water) matches bit for bit; the memo only buys host time")
 	return t, nil
-}
-
-// SortCacheBenchResult is the machine-readable sort-cache benchmark record
-// written by joinbench -benchjson.
-type SortCacheBenchResult struct {
-	M, B, Scale int
-	Seed        int64
-	Workloads   []SortCacheBenchRow
-}
-
-// SortCacheBenchRow reports one workload's A/B measurement.
-type SortCacheBenchRow struct {
-	Name              string
-	WallNanosCacheOn  int64
-	WallNanosCacheOff int64
-	Speedup           float64 // off/on wall-clock ratio
-	IOsCacheOn        int64
-	IOsCacheOff       int64
-	Identical         bool // simulated stats and result counts match exactly
-	Hits, Misses      int64
-	HitRate           float64
-	BytesReplayed     int64
-}
-
-// SortCacheBench runs the E23 workloads with host timing and returns the
-// machine-readable record. Wall-clock numbers are best-of-3 per arm to damp
-// scheduler noise; all simulated figures are deterministic.
-func SortCacheBench(p Params) (*SortCacheBenchResult, error) {
-	p = p.WithDefaults()
-	res := &SortCacheBenchResult{M: p.M, B: p.B, Scale: p.Scale, Seed: p.Seed}
-	for w := range sortCacheWorkloads {
-		row := SortCacheBenchRow{Name: sortCacheWorkloads[w].name}
-		var on, off extmem.Stats
-		var nOn, nOff int64
-		for rep := 0; rep < 3; rep++ {
-			st, n, cs, el, err := runSortCacheArm(p, w, true)
-			if err != nil {
-				return nil, err
-			}
-			if rep == 0 || el.Nanoseconds() < row.WallNanosCacheOn {
-				row.WallNanosCacheOn = el.Nanoseconds()
-			}
-			on, nOn = st, n
-			row.Hits, row.Misses, row.BytesReplayed = cs.Hits, cs.Misses, cs.BytesReplayed
-
-			st, n, _, el, err = runSortCacheArm(p, w, false)
-			if err != nil {
-				return nil, err
-			}
-			if rep == 0 || el.Nanoseconds() < row.WallNanosCacheOff {
-				row.WallNanosCacheOff = el.Nanoseconds()
-			}
-			off, nOff = st, n
-		}
-		row.IOsCacheOn, row.IOsCacheOff = on.IOs(), off.IOs()
-		row.Identical = on == off && nOn == nOff
-		if row.WallNanosCacheOn > 0 {
-			row.Speedup = float64(row.WallNanosCacheOff) / float64(row.WallNanosCacheOn)
-		}
-		if lk := row.Hits + row.Misses; lk > 0 {
-			row.HitRate = float64(row.Hits) / float64(lk)
-		}
-		res.Workloads = append(res.Workloads, row)
-	}
-	return res, nil
 }

@@ -22,10 +22,15 @@ type Params struct {
 	Scale int
 	// Seed feeds the randomized workloads.
 	Seed int64
-	// NoSortCache disables the charge-replay sort cache that newDisk
+	// NoMemo disables the charge-replay operator memo that newDisk
 	// attaches by default. Tables are byte-identical either way (replay
-	// charges exactly what the kernel would); the switch exists for A/B
-	// timing and for proving that claim (E23).
+	// charges exactly what the real operator would); the switch exists
+	// for A/B timing and for proving that claim (E23, E24).
+	NoMemo bool
+	// NoSortCache is the former name of NoMemo; either flag disables the
+	// memo.
+	//
+	// Deprecated: set NoMemo instead.
 	NoSortCache bool
 }
 

@@ -1,0 +1,429 @@
+package opcache_test
+
+import (
+	"reflect"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
+)
+
+func fill(d *extmem.Disk, arity int, rows [][]int64) *extmem.File {
+	f := d.NewFile(arity)
+	w := f.NewWriter()
+	for _, r := range rows {
+		w.Append(r)
+	}
+	w.Close()
+	return f
+}
+
+// copyOp is a stand-in deterministic operator: scan the input window and
+// write it back out, returning the tuple count as metadata.
+func copyOp(d *extmem.Disk, in opcache.Input) ([]*extmem.File, []int64, error) {
+	out := d.NewFile(in.File.Arity())
+	w := out.NewWriter()
+	r := in.File.NewRangeReader(in.Off, in.N)
+	for t := r.Next(); t != nil; t = r.Next() {
+		w.Append(t)
+	}
+	w.Close()
+	return []*extmem.File{out}, []int64{int64(out.Len())}, nil
+}
+
+func doCopy(d *extmem.Disk, in opcache.Input) ([]*extmem.File, []int64, error) {
+	return opcache.Do(d, opcache.Op{Kind: "copy", Inputs: []opcache.Input{in}},
+		func() ([]*extmem.File, []int64, error) { return copyOp(d, in) })
+}
+
+func rows(n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := range out {
+		out[i] = []int64{int64(i), int64(n - i)}
+	}
+	return out
+}
+
+// A memo hit must leave every counter — reads, writes, hi-water, per-phase —
+// and every output byte exactly as re-running the operator would.
+func TestDoReplayBitIdentical(t *testing.T) {
+	run := func(memo bool) (extmem.Stats, map[string]extmem.Stats, []int64, []int64) {
+		d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+		d.EnablePhases()
+		if memo {
+			opcache.Enable(d)
+		}
+		f := fill(d, 2, rows(23))
+		d.ResetStats()
+		d.ResetPhases()
+		outs1, _, err := doCopy(d, opcache.In(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs2, meta, err := doCopy(d, opcache.In(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = outs1
+		return d.Stats(), d.PhaseStats(), outs2[0].Raw(), meta
+	}
+	stOn, phOn, outOn, metaOn := run(true)
+	stOff, phOff, outOff, metaOff := run(false)
+	if stOn != stOff {
+		t.Fatalf("stats diverge: memo %+v, direct %+v", stOn, stOff)
+	}
+	if !reflect.DeepEqual(phOn, phOff) {
+		t.Fatalf("phase stats diverge: memo %+v, direct %+v", phOn, phOff)
+	}
+	if !equal(outOn, outOff) {
+		t.Fatalf("outputs diverge")
+	}
+	if !equal(metaOn, metaOff) {
+		t.Fatalf("meta diverges: %v vs %v", metaOn, metaOff)
+	}
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDoWithoutMemoRunsDirect(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	f := fill(d, 2, rows(5))
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	if opcache.Of(d) != nil {
+		t.Fatal("no memo should be attached")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(6))
+	for i := 0; i < 3; i++ {
+		if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.BytesReplayed != 2*6*2*8 {
+		t.Fatalf("bytes replayed = %d, want %d", st.BytesReplayed, 2*6*2*8)
+	}
+	// A different kind is a different key.
+	if _, _, err := opcache.Do(d, opcache.Op{Kind: "copy2", Inputs: []opcache.Input{opcache.In(f)}},
+		func() ([]*extmem.File, []int64, error) { return copyOp(d, opcache.In(f)) }); err != nil {
+		t.Fatal(err)
+	}
+	if st = m.Stats(); st.Misses != 2 {
+		t.Fatalf("misses after new kind = %d, want 2", st.Misses)
+	}
+}
+
+// Distinct windows of the same file are distinct keys.
+func TestWindowsAreDistinctKeys(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(10))
+	o1, _, err := doCopy(d, opcache.Input{File: f, Off: 0, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _, err := doCopy(d, opcache.Input{File: f, Off: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/2", st.Hits, st.Misses)
+	}
+	if equal(o1[0].Raw(), o2[0].Raw()) {
+		t.Fatal("distinct windows produced identical output")
+	}
+}
+
+// Two files built independently with identical contents share one entry via
+// the content-hash path, and the registered alias makes repeats fast.
+func TestContentHashHitAcrossFiles(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f1 := fill(d, 2, rows(8))
+	f2 := fill(d, 2, rows(8))
+	if f1.ContentID() == f2.ContentID() {
+		t.Fatal("distinct files share a content ID")
+	}
+	if _, _, err := doCopy(d, opcache.In(f1)); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if _, _, err := doCopy(d, opcache.In(f2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	st := d.Stats()
+	d.ResetStats()
+	if _, _, err := doCopy(d, opcache.In(f2)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats() != st {
+		t.Fatalf("fast-path replay charged %+v, slow-path %+v", d.Stats(), st)
+	}
+}
+
+// The memo hits across CloneTo views (content identity survives the clone).
+func TestHitAcrossClones(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(5))
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	child := d.NewChild()
+	clone := f.CloneTo(child)
+	outs, _, err := doCopy(child, opcache.In(clone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (clone should hit the parent's entry)", st.Hits)
+	}
+	if outs[0].Disk() != child {
+		t.Fatal("replayed output not cloned to the caller's disk")
+	}
+}
+
+// Appending bumps the version: stale entries never hit.
+func TestInvalidationOnAppend(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(4))
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	w := f.NewWriter()
+	w.Append([]int64{99, 99})
+	w.Close()
+	outs, _, err := doCopy(d, opcache.In(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != 5 {
+		t.Fatalf("post-append output stale: len %d, want 5", outs[0].Len())
+	}
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 0/2", st.Hits, st.Misses)
+	}
+}
+
+// Aux values distinguish otherwise-identical ops and are verified on hits.
+func TestAuxDistinguishesOps(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(6))
+	do := func(aux []int64) {
+		if _, _, err := opcache.Do(d, opcache.Op{Kind: "copy", Inputs: []opcache.Input{opcache.In(f)}, Aux: aux},
+			func() ([]*extmem.File, []int64, error) { return copyOp(d, opcache.In(f)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	do([]int64{1, 2})
+	do([]int64{1, 2})
+	do([]int64{1, 3})
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", st.Hits, st.Misses)
+	}
+}
+
+// Suspended runs must not record entries: their tapes are empty, which would
+// corrupt later replays into charged contexts.
+func TestSuspendedRunsNotStored(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.Enable(d)
+	f := fill(d, 2, rows(6))
+	restore := d.Suspend()
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	if st := m.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	d.ResetStats()
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().IOs() == 0 {
+		t.Fatal("post-suspend run charged nothing: an empty-tape entry leaked")
+	}
+}
+
+// LRU eviction under an entry budget: the least-recently-used entry goes
+// first, hit/evict counters track it, and evicted ops simply recompute with
+// identical accounting.
+func TestLRUEvictionByEntries(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.EnableLimited(d, opcache.Limits{MaxEntries: 2})
+	fs := []*extmem.File{fill(d, 2, rows(3)), fill(d, 2, rows(4)), fill(d, 2, rows(5))}
+	stats := make([]extmem.Stats, 3)
+	for i, f := range fs {
+		before := d.Stats()
+		if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+			t.Fatal(err)
+		}
+		stats[i] = d.Stats().Sub(before)
+	}
+	if st := m.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if n, _ := m.Retained(); n != 2 {
+		t.Fatalf("retained entries = %d, want 2", n)
+	}
+	// fs[0] was evicted: re-running it recomputes (a miss) with the same I/O.
+	before := d.Stats()
+	if _, _, err := doCopy(d, opcache.In(fs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Sub(before); got.Reads != stats[0].Reads || got.Writes != stats[0].Writes {
+		t.Fatalf("recompute after eviction charged %+v, original %+v", got, stats[0])
+	}
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 0/4", st.Hits, st.Misses)
+	}
+}
+
+// A hit refreshes LRU position, protecting hot entries from eviction.
+func TestLRUTouchOnHit(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.EnableLimited(d, opcache.Limits{MaxEntries: 2})
+	f1 := fill(d, 2, rows(3))
+	f2 := fill(d, 2, rows(4))
+	f3 := fill(d, 2, rows(5))
+	mustCopy := func(f *extmem.File) {
+		if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCopy(f1)
+	mustCopy(f2)
+	mustCopy(f1) // hit: f1 becomes most recent, f2 is now LRU
+	mustCopy(f3) // evicts f2
+	mustCopy(f1) // still resident: hit
+	st := m.Stats()
+	if st.Hits != 2 || st.Evictions != 1 {
+		t.Fatalf("hits/evictions = %d/%d, want 2/1", st.Hits, st.Evictions)
+	}
+}
+
+// Tuple-budget eviction: retained tuples stay under the cap.
+func TestEvictionByTupleBudget(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.EnableLimited(d, opcache.Limits{MaxTuples: 30})
+	for i := 3; i <= 8; i++ {
+		f := fill(d, 2, rows(i))
+		if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, tuples := m.Retained()
+	if tuples > 30 {
+		t.Fatalf("retained %d tuples across %d entries, budget 30", tuples, entries)
+	}
+	if st := m.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions under a 30-tuple budget")
+	}
+}
+
+// An entry larger than the whole budget is kept alone rather than thrashing.
+func TestOversizedEntryKept(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.EnableLimited(d, opcache.Limits{MaxTuples: 5})
+	f := fill(d, 2, rows(20))
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (oversized entry should stay resident)", st.Hits)
+	}
+}
+
+// Eviction drops every alias of an entry (no dangling byID pointers).
+func TestEvictionDropsAliases(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	m := opcache.EnableLimited(d, opcache.Limits{MaxEntries: 1})
+	f1 := fill(d, 2, rows(6))
+	f2 := fill(d, 2, rows(6)) // same contents: slow-path alias
+	if _, _, err := doCopy(d, opcache.In(f1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := doCopy(d, opcache.In(f2)); err != nil {
+		t.Fatal(err)
+	}
+	g := fill(d, 2, rows(7))
+	if _, _, err := doCopy(d, opcache.In(g)); err != nil { // evicts the shared entry
+		t.Fatal(err)
+	}
+	if _, _, err := doCopy(d, opcache.In(f2)); err != nil { // must miss, not hit a ghost
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", st.Hits, st.Misses)
+	}
+	if n, _ := m.Retained(); n != 1 {
+		t.Fatalf("retained entries = %d, want 1", n)
+	}
+}
+
+// Multi-output ops replay every output and the metadata verbatim.
+func TestMultiOutputAndMeta(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	opcache.Enable(d)
+	f := fill(d, 2, rows(8))
+	split := func() ([]*extmem.File, []int64, error) {
+		lo, hi := d.NewFile(2), d.NewFile(2)
+		wl, wh := lo.NewWriter(), hi.NewWriter()
+		r := f.NewReader()
+		for t := r.Next(); t != nil; t = r.Next() {
+			if t[0] < 4 {
+				wl.Append(t)
+			} else {
+				wh.Append(t)
+			}
+		}
+		wl.Close()
+		wh.Close()
+		return []*extmem.File{lo, hi}, []int64{int64(lo.Len()), int64(hi.Len())}, nil
+	}
+	op := opcache.Op{Kind: "split", Params: "4", Inputs: []opcache.Input{opcache.In(f)}}
+	o1, m1, err := opcache.Do(d, op, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, m2, err := opcache.Do(d, op, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o2) != 2 || !equal(o1[0].Raw(), o2[0].Raw()) || !equal(o1[1].Raw(), o2[1].Raw()) {
+		t.Fatal("replayed outputs diverge")
+	}
+	if !equal(m1, m2) {
+		t.Fatalf("replayed meta diverges: %v vs %v", m1, m2)
+	}
+}

@@ -3,9 +3,50 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/tuple"
 )
+
+// The operators in this file are deterministic in (input windows, column
+// parameters, machine shape): their output bytes and every block charge
+// follow mechanically from those. Each therefore routes through the disk's
+// operator memo (internal/opcache) when one is attached — a repeat run clones
+// the recorded output and replays the recorded charge tape, bit-identical to
+// redoing the work. Sortedness guards stay OUTSIDE the memoized body so the
+// error behaviour is identical with the memo on or off (sortedness is view
+// metadata, not file content, and must not be decided by a content match).
+
+// memoIn returns r's view window as an operator-memo input.
+func memoIn(r *Relation) opcache.Input {
+	return opcache.Input{File: r.file, Off: r.off, N: r.n}
+}
+
+// MemoInput returns r's view window as an operator-memo input, for memoized
+// operators in other packages (e.g. core's materialized pairwise join).
+func (r *Relation) MemoInput() opcache.Input { return memoIn(r) }
+
+// FromFile wraps a whole file as a relation declared sorted by sortCols
+// (nil = unsorted). The file's arity must match the schema; intended for
+// reconstructing a memoized operator's output relation from a replayed file.
+func FromFile(f *extmem.File, schema tuple.Schema, sortCols []int) *Relation {
+	if f.Arity() != len(schema) {
+		panic(fmt.Sprintf("relation: FromFile arity %d != schema %v", f.Arity(), schema))
+	}
+	return &Relation{schema: schema.Clone(), file: f, n: f.Len(), sortCols: sortCols}
+}
+
+// File returns the backing file when the view covers it entirely (the shape
+// of every freshly built relation). It exists so memoized operators in other
+// packages can store their output file in the memo; partial views panic.
+func (r *Relation) File() *extmem.File {
+	if r.off != 0 || r.n != r.file.Len() {
+		panic("relation: File() on a partial view")
+	}
+	return r.file
+}
 
 // Semijoin computes r ⋉ s on the shared attribute a by a merge scan. Both
 // views must be sorted by a. The result is a new relation with r's schema,
@@ -16,64 +57,87 @@ func Semijoin(r, s *Relation, a tuple.Attr) (*Relation, error) {
 		return nil, fmt.Errorf("relation: Semijoin on views not sorted by v%d", a)
 	}
 	rc, sc := r.Col(a), s.Col(a)
-	out := New(r.Disk(), r.schema)
-	w := out.file.NewWriter()
-	rr, sr := r.Reader(), s.Reader()
-	st := sr.Next()
-	for rt := rr.Next(); rt != nil; rt = rr.Next() {
-		for st != nil && st[sc] < rt[rc] {
-			st = sr.Next()
+	outs, _, err := opcache.Do(r.Disk(), opcache.Op{
+		Kind:   "semijoin",
+		Params: strconv.Itoa(rc) + "|" + strconv.Itoa(sc),
+		Inputs: []opcache.Input{memoIn(r), memoIn(s)},
+	}, func() ([]*extmem.File, []int64, error) {
+		out := r.Disk().NewFile(len(r.schema))
+		w := out.NewWriter()
+		rr, sr := r.Reader(), s.Reader()
+		st := sr.Next()
+		for rt := rr.Next(); rt != nil; rt = rr.Next() {
+			for st != nil && st[sc] < rt[rc] {
+				st = sr.Next()
+			}
+			if st != nil && st[sc] == rt[rc] {
+				w.Append(rt)
+			}
 		}
-		if st != nil && st[sc] == rt[rc] {
-			w.Append(rt)
-		}
+		w.Close()
+		return []*extmem.File{out}, nil, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	w.Close()
-	out.n = out.file.Len()
-	out.sortCols = r.sortCols
-	return out, nil
+	return &Relation{schema: r.schema.Clone(), file: outs[0], n: outs[0].Len(), sortCols: r.sortCols}, nil
+}
+
+// sortedVals returns the values of a set in ascending order (the canonical
+// aux encoding for value-set operators).
+func sortedVals(vals map[int64]bool) []int64 {
+	out := make([]int64, 0, len(vals))
+	for v := range vals {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// filterValues is the shared memoized body of SemijoinValues and
+// AntiSemijoinValues: one scan of r keeping tuples whose a-value membership
+// in vals matches keep.
+func filterValues(kind string, r *Relation, a tuple.Attr, vals map[int64]bool, keep bool) (*Relation, error) {
+	c := r.Col(a)
+	outs, _, err := opcache.Do(r.Disk(), opcache.Op{
+		Kind:   kind,
+		Params: strconv.Itoa(c),
+		Inputs: []opcache.Input{memoIn(r)},
+		Aux:    sortedVals(vals),
+	}, func() ([]*extmem.File, []int64, error) {
+		out := r.Disk().NewFile(len(r.schema))
+		w := out.NewWriter()
+		rd := r.Reader()
+		for t := rd.Next(); t != nil; t = rd.Next() {
+			if vals[t[c]] == keep {
+				w.Append(t)
+			}
+		}
+		w.Close()
+		return []*extmem.File{out}, nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: r.schema.Clone(), file: outs[0], n: outs[0].Len(), sortCols: r.sortCols}, nil
 }
 
 // SemijoinValues computes r ⋉ V where V is an in-memory set of values on
 // attribute a (e.g. the distinct values of a loaded chunk, for computing
 // R(e')(M1) in Algorithm 2). r need not be sorted. One scan plus output.
 func SemijoinValues(r *Relation, a tuple.Attr, vals map[int64]bool) (*Relation, error) {
-	c := r.Col(a)
-	out := New(r.Disk(), r.schema)
-	w := out.file.NewWriter()
-	rd := r.Reader()
-	for t := rd.Next(); t != nil; t = rd.Next() {
-		if vals[t[c]] {
-			w.Append(t)
-		}
-	}
-	w.Close()
-	out.n = out.file.Len()
-	out.sortCols = r.sortCols
-	return out, nil
+	return filterValues("semijoin-vals", r, a, vals, true)
 }
 
 // AntiSemijoinValues computes r ▷ V: tuples of r whose a-value is NOT in the
 // set. Used to peel light tuples away from heavy ones without re-sorting.
 func AntiSemijoinValues(r *Relation, a tuple.Attr, vals map[int64]bool) (*Relation, error) {
-	c := r.Col(a)
-	out := New(r.Disk(), r.schema)
-	w := out.file.NewWriter()
-	rd := r.Reader()
-	for t := rd.Next(); t != nil; t = rd.Next() {
-		if !vals[t[c]] {
-			w.Append(t)
-		}
-	}
-	w.Close()
-	out.n = out.file.Len()
-	out.sortCols = r.sortCols
-	return out, nil
+	return filterValues("antisemijoin-vals", r, a, vals, false)
 }
 
 // Project returns the projection of r onto the given attributes with
 // duplicates removed (sort-based). The result is sorted by the projected
-// columns.
+// columns. Memoized as one operator including the internal dedup sort.
 func Project(r *Relation, attrs []tuple.Attr) (*Relation, error) {
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -81,19 +145,46 @@ func Project(r *Relation, attrs []tuple.Attr) (*Relation, error) {
 	}
 	schema := make(tuple.Schema, len(attrs))
 	copy(schema, attrs)
-	tmp := New(r.Disk(), schema)
-	w := tmp.file.NewWriter()
-	rd := r.Reader()
-	buf := make(tuple.Tuple, len(cols))
-	for t := rd.Next(); t != nil; t = rd.Next() {
-		for i, c := range cols {
-			buf[i] = t[c]
+	params := ""
+	for i, c := range cols {
+		if i > 0 {
+			params += ","
 		}
-		w.Append(buf)
+		params += strconv.Itoa(c)
 	}
-	w.Close()
-	tmp.n = tmp.file.Len()
-	return tmp.SortDedupBy(attrs...)
+	outs, _, err := opcache.Do(r.Disk(), opcache.Op{
+		Kind:   "project",
+		Params: params,
+		Inputs: []opcache.Input{memoIn(r)},
+	}, func() ([]*extmem.File, []int64, error) {
+		tmp := New(r.Disk(), schema)
+		w := tmp.file.NewWriter()
+		rd := r.Reader()
+		buf := make(tuple.Tuple, len(cols))
+		for t := rd.Next(); t != nil; t = rd.Next() {
+			for i, c := range cols {
+				buf[i] = t[c]
+			}
+			w.Append(buf)
+		}
+		w.Close()
+		tmp.n = tmp.file.Len()
+		res, err := tmp.SortDedupBy(attrs...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*extmem.File{res.file}, nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// SortDedupBy on the projected schema always yields the identity column
+	// order (the projected columns first, in position order, then nothing).
+	order := make([]int, len(schema))
+	for i := range order {
+		order[i] = i
+	}
+	return &Relation{schema: schema, file: outs[0], n: outs[0].Len(), sortCols: order}, nil
 }
 
 // DistinctValues returns the sorted distinct values of attribute a,

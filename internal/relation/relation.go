@@ -17,6 +17,7 @@ import (
 
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/extsort"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/tuple"
 )
 
@@ -209,15 +210,26 @@ func (r *Relation) sortBy(attrs []tuple.Attr, dedup bool) (*Relation, error) {
 }
 
 // copyRange materializes the view window into a fresh file (scan + write).
+// Memoized: rebuilding the same window on a later branch clones the recorded
+// copy and replays its charges.
 func (r *Relation) copyRange() (*extmem.File, error) {
-	out := r.file.Disk().NewFile(len(r.schema))
-	w := out.NewWriter()
-	rd := r.Reader()
-	for t := rd.Next(); t != nil; t = rd.Next() {
-		w.Append(t)
+	outs, _, err := opcache.Do(r.Disk(), opcache.Op{
+		Kind:   "materialize",
+		Inputs: []opcache.Input{memoIn(r)},
+	}, func() ([]*extmem.File, []int64, error) {
+		out := r.file.Disk().NewFile(len(r.schema))
+		w := out.NewWriter()
+		rd := r.Reader()
+		for t := rd.Next(); t != nil; t = rd.Next() {
+			w.Append(t)
+		}
+		w.Close()
+		return []*extmem.File{out}, nil, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	w.Close()
-	return out, nil
+	return outs[0], nil
 }
 
 // Materialize returns a relation backed by its own file covering exactly the
@@ -324,28 +336,46 @@ func (r *Relation) probe(i int) tuple.Tuple {
 // Heavy reports the split of Section 2.3: given a view sorted by a, it
 // returns the heavy value groups (N(e)|v=a >= M) and a new relation holding
 // all light tuples (still sorted by a). One scan plus the light rewrite.
+// Memoized: the light file is recorded and the heavy groups — zero-copy views
+// of r — are rebuilt from recorded (value, offset, length) metadata.
 func (r *Relation) Heavy(a tuple.Attr) (heavy []Group, light *Relation, err error) {
-	m := r.Disk().M()
-	lightRel := New(r.Disk(), r.schema)
-	w := lightRel.file.NewWriter()
-	err = r.Groups(a, func(g Group) error {
-		if g.Rel.Len() >= m {
-			heavy = append(heavy, g)
+	if !r.SortedByAttr(a) {
+		return nil, nil, fmt.Errorf("relation: Heavy(v%d) on view not sorted by it (sortCols=%v)", a, r.sortCols)
+	}
+	outs, meta, err := opcache.Do(r.Disk(), opcache.Op{
+		Kind:   "heavy-split",
+		Params: fmt.Sprint(r.Col(a)),
+		Inputs: []opcache.Input{memoIn(r)},
+	}, func() ([]*extmem.File, []int64, error) {
+		m := r.Disk().M()
+		lightF := r.Disk().NewFile(len(r.schema))
+		w := lightF.NewWriter()
+		var groups []int64
+		gerr := r.Groups(a, func(g Group) error {
+			if g.Rel.Len() >= m {
+				groups = append(groups, g.Value, int64(g.Rel.off-r.off), int64(g.Rel.n))
+				return nil
+			}
+			rd := g.Rel.Reader()
+			for t := rd.Next(); t != nil; t = rd.Next() {
+				w.Append(t)
+			}
 			return nil
+		})
+		w.Close()
+		if gerr != nil {
+			return nil, nil, gerr
 		}
-		rd := g.Rel.Reader()
-		for t := rd.Next(); t != nil; t = rd.Next() {
-			w.Append(t)
-		}
-		return nil
+		return []*extmem.File{lightF}, groups, nil
 	})
-	w.Close()
 	if err != nil {
 		return nil, nil, err
 	}
-	lightRel.n = lightRel.file.Len()
-	lightRel.sortCols = r.sortCols
-	return heavy, lightRel, nil
+	for i := 0; i+2 < len(meta); i += 3 {
+		heavy = append(heavy, Group{Value: meta[i], Rel: r.View(int(meta[i+1]), int(meta[i+2]))})
+	}
+	light = &Relation{schema: r.schema.Clone(), file: outs[0], n: outs[0].Len(), sortCols: r.sortCols}
+	return heavy, light, nil
 }
 
 // Chunk is an in-memory load of tuples, with the memory accounted until

@@ -5,7 +5,7 @@ import (
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
-	"acyclicjoin/internal/extsort"
+	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/reducer"
 	"acyclicjoin/internal/relation"
 	"acyclicjoin/internal/tuple"
@@ -51,22 +51,51 @@ type Options struct {
 	// wall-clock time. Other strategies explore a single branch and ignore
 	// this knob.
 	Parallelism int
-	// SortCache controls the charge-replay sort cache: identical sorts
-	// (same input contents, column order, M, B) are answered by cloning a
+	// Memo controls the charge-replay operator memo: deterministic
+	// operators (sorts, semijoins, projections, heavy/light splits,
+	// materialized pairwise joins) repeated on identical input windows with
+	// identical parameters and machine shape are answered by cloning a
 	// recorded output and replaying the recorded charges. On by default.
 	// Every simulated figure — Stats, PlanningStats, counts — is
-	// bit-identical with the cache on or off; only host wall-clock time
-	// changes. Set SortCacheOff to force every sort through the kernel.
+	// bit-identical with the memo on or off; only host wall-clock time
+	// changes. Set MemoOff to force every operator to run for real.
+	Memo MemoMode
+	// MemoMaxEntries and MemoMaxTuples bound the memo when nonzero: at
+	// most MemoMaxEntries recorded operators, and at most MemoMaxTuples
+	// tuples retained across recorded output snapshots, evicting
+	// least-recently-used entries. Eviction only costs recomputation on a
+	// later repeat; it never changes any simulated counter.
+	MemoMaxEntries int
+	MemoMaxTuples  int64
+	// SortCache is the former name of Memo, kept so existing callers keep
+	// compiling; the memo now covers all deterministic operators, not just
+	// sorts. The memo is off when EITHER field is set to off.
+	//
+	// Deprecated: set Memo instead.
 	SortCache SortCacheMode
 }
 
-// SortCacheMode switches the charge-replay sort cache; the zero value is on.
+// MemoMode switches the charge-replay operator memo; the zero value is on.
+type MemoMode = core.MemoMode
+
+// SortCacheMode is the former name of MemoMode.
+//
+// Deprecated: use MemoMode.
 type SortCacheMode = core.SortCacheMode
 
 const (
-	// SortCacheOn (the default) reuses recorded sorts via charge replay.
+	// MemoOn (the default) reuses recorded operator runs via charge replay.
+	MemoOn = core.MemoOn
+	// MemoOff runs every operator for real.
+	MemoOff = core.MemoOff
+
+	// SortCacheOn is the former name of MemoOn.
+	//
+	// Deprecated: use MemoOn.
 	SortCacheOn = core.SortCacheOn
-	// SortCacheOff runs every sort through the kernel.
+	// SortCacheOff is the former name of MemoOff.
+	//
+	// Deprecated: use MemoOff.
 	SortCacheOff = core.SortCacheOff
 )
 
@@ -109,16 +138,25 @@ type Result struct {
 	// Plan describes the algorithm used ("acyclic-join (Algorithm 2)",
 	// "line-5 unbalanced (Algorithm 4)", ...).
 	Plan string
-	// SortCache reports charge-replay sort-cache effectiveness. The
-	// counters are host-side diagnostics: they never feed into the
-	// simulated Stats, and under Parallelism > 1 the hit/miss split can
-	// vary run to run (two branches may miss on the same sort before
-	// either stores it). All zero when Options.SortCache is off.
+	// Memo reports operator-memo effectiveness. The counters are host-side
+	// diagnostics: they never feed into the simulated Stats, and under
+	// Parallelism > 1 the hit/miss split can vary run to run (two branches
+	// may miss on the same operator before either stores it). All zero
+	// when the memo is off.
+	Memo MemoStats
+	// SortCache mirrors Memo under its former name.
+	//
+	// Deprecated: read Memo instead.
 	SortCache SortCacheStats
 }
 
-// SortCacheStats counts sort-cache hits, misses, and bytes served by replay.
-type SortCacheStats = extsort.CacheStats
+// MemoStats counts memo hits, misses, evictions, and bytes served by replay.
+type MemoStats = opcache.Stats
+
+// SortCacheStats is the former name of MemoStats.
+//
+// Deprecated: use MemoStats.
+type SortCacheStats = MemoStats
 
 // Run evaluates the join, calling emit (if non-nil) once per result. The
 // Row passed to emit is freshly allocated per call; for counting-only runs
@@ -133,9 +171,10 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		return nil, err
 	}
 	disk := extmem.NewDisk(cfg)
-	if opts.SortCache != SortCacheOff {
-		// Attach before the reduction so its sorts are recorded too.
-		extsort.EnableCache(disk)
+	memoLimits := opcache.Limits{MaxEntries: opts.MemoMaxEntries, MaxTuples: opts.MemoMaxTuples}
+	if opts.Memo != MemoOff && opts.SortCache != SortCacheOff {
+		// Attach before the reduction so its operator runs are recorded too.
+		opcache.EnableLimited(disk, memoLimits)
 	}
 
 	// Load the instance onto the simulated disk without charging: input
@@ -184,6 +223,8 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		Strategy:      opts.Strategy,
 		AssumeReduced: !opts.SkipReduce,
 		Parallelism:   opts.Parallelism,
+		Memo:          opts.Memo,
+		MemoLimits:    memoLimits,
 		SortCache:     opts.SortCache,
 	}
 	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
@@ -218,8 +259,9 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		}
 	}
 	res.Count = count
-	if c := extsort.CacheOf(disk); c != nil {
-		res.SortCache = c.Stats()
+	if m := opcache.Of(disk); m != nil {
+		res.Memo = m.Stats()
+		res.SortCache = res.Memo
 	}
 	return res, nil
 }
