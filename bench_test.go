@@ -66,6 +66,7 @@ func BenchmarkE22ReductionAblation(b *testing.B) {
 }
 func BenchmarkE23MemoSortHeavy(b *testing.B)  { benchExperiment(b, "E23", benchParams) }
 func BenchmarkE24OperatorMemoAB(b *testing.B) { benchExperiment(b, "E24", benchParams) }
+func BenchmarkE25PruningAB(b *testing.B)      { benchExperiment(b, "E25", benchParams) }
 
 // BenchmarkPublicAPIRun measures the end-to-end public API on a skewed
 // 3-hop path query, reporting simulated I/Os per operation.
@@ -104,8 +105,11 @@ func BenchmarkPublicAPIRun(b *testing.B) {
 
 // BenchmarkExhaustiveParallelism measures the public API's exhaustive
 // planner at several worker counts on a multi-branch L4 (line specialization
-// disabled so Algorithm 2's branch exploration is exercised). Results are
-// identical at every setting; wall clock improves with GOMAXPROCS.
+// disabled so Algorithm 2's branch exploration is exercised). Runs with
+// NoPrune so PlanningStats is comparable across worker counts — under
+// pruning (the default elsewhere) parallel abort points depend on worker
+// timing. Results are identical at every setting; wall clock improves with
+// GOMAXPROCS.
 func BenchmarkExhaustiveParallelism(b *testing.B) {
 	q, err := NewQuery().
 		Relation("R1", "a", "b").
@@ -130,6 +134,7 @@ func BenchmarkExhaustiveParallelism(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := Count(q, inst, Options{
 					Memory: 512, Block: 32, NoLineSpecialization: true, Parallelism: p,
+					NoPrune: true,
 				})
 				if err != nil {
 					b.Fatal(err)

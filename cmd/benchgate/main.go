@@ -1,0 +1,156 @@
+// Command benchgate compares a `go test -bench` output file against a
+// committed baseline and fails when wall-clock performance regresses. It is
+// the CI gate behind testdata/bench_smoke_baseline.txt: benchstat-style
+// per-benchmark ratios, but self-contained (no external modules) and with an
+// explicit pass/fail contract suited to single-iteration smoke runs.
+//
+// Gate policy:
+//
+//   - every baseline benchmark must appear in the new output (a silently
+//     vanished benchmark is bit-rot, exactly what the smoke run exists to
+//     catch);
+//   - the geometric mean of the per-benchmark ns/op ratios (new/old) must not
+//     exceed -max-ratio. Single-iteration numbers are noisy per benchmark, so
+//     the gate is on the geomean across the whole suite, which is stable;
+//   - individual ratios above -warn-ratio are listed but only fail the run
+//     when the geomean gate also trips.
+//
+// Usage:
+//
+//	benchgate -baseline testdata/bench_smoke_baseline.txt -new bench_smoke.txt [-max-ratio 1.30]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline benchmark output")
+		newFile  = flag.String("new", "", "freshly measured benchmark output")
+		maxRatio = flag.Float64("max-ratio", 1.30, "fail when geomean(new/old ns/op) exceeds this")
+		warn     = flag.Float64("warn-ratio", 2.0, "list individual benchmarks slower than this")
+	)
+	flag.Parse()
+	if *baseline == "" || *newFile == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -new are required")
+		os.Exit(2)
+	}
+	os.Exit(gate(os.Stdout, *baseline, *newFile, *maxRatio, *warn))
+}
+
+// benchLine matches one benchmark result line; the trailing -N GOMAXPROCS
+// suffix (absent when GOMAXPROCS=1) is stripped so baselines port across
+// machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse reads a `go test -bench` output file into name -> ns/op. Non-result
+// lines (goos/pkg/PASS/ok) are ignored; a duplicated name keeps the first
+// result and reports the duplicate.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+		}
+		if _, dup := out[m[1]]; dup {
+			return nil, fmt.Errorf("%s: duplicate benchmark %s", path, m[1])
+		}
+		out[m[1]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func gate(w *os.File, baselinePath, newPath string, maxRatio, warnRatio float64) int {
+	old, err := parse(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	cur, err := parse(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var missing []string
+	var logSum float64
+	type row struct {
+		name      string
+		oldNs, ns float64
+		ratio     float64
+	}
+	var rows []row
+	for _, n := range names {
+		v, ok := cur[n]
+		if !ok {
+			missing = append(missing, n)
+			continue
+		}
+		r := v / old[n]
+		logSum += math.Log(r)
+		rows = append(rows, row{n, old[n], v, r})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	fmt.Fprintf(w, "%-50s %14s %14s %7s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, r := range rows {
+		flag := ""
+		if r.ratio > warnRatio {
+			flag = "  <-- slow"
+		}
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %7.2f%s\n", r.name, r.oldNs, r.ns, r.ratio, flag)
+	}
+	var added []string
+	for n := range cur {
+		if _, ok := old[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	if len(added) > 0 {
+		fmt.Fprintf(w, "new benchmarks (not in baseline, not gated): %s\n", strings.Join(added, ", "))
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "FAIL: baseline benchmarks missing from new output: %s\n", strings.Join(missing, ", "))
+		return 1
+	}
+	geomean := math.Exp(logSum / float64(len(rows)))
+	fmt.Fprintf(w, "geomean ratio over %d benchmarks: %.3f (gate: <= %.2f)\n", len(rows), geomean, maxRatio)
+	if geomean > maxRatio {
+		fmt.Fprintf(w, "FAIL: suite slowed down beyond the gate\n")
+		return 1
+	}
+	fmt.Fprintf(w, "PASS\n")
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baselineSample = `goos: linux
+pkg: example
+BenchmarkA        	       1	 100000000 ns/op	 9013552 B/op	   27259 allocs/op
+BenchmarkB/sub-8  	       1	 200000000 ns/op	        16.00 branches
+PASS
+ok  	example	1.0s
+`
+
+func TestGatePassesOnEqualNumbers(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baselineSample)
+	cur := writeFile(t, dir, "new.txt", baselineSample)
+	if code := gate(os.Stdout, base, cur, 1.30, 2.0); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestGateStripsGomaxprocsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baselineSample)
+	cur := writeFile(t, dir, "new.txt", `BenchmarkA-4    1  90000000 ns/op
+BenchmarkB/sub  1  210000000 ns/op
+`)
+	if code := gate(os.Stdout, base, cur, 1.30, 2.0); code != 0 {
+		t.Fatalf("exit = %d, want 0 (suffix-insensitive match)", code)
+	}
+}
+
+func TestGateFailsOnGeomeanRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baselineSample)
+	cur := writeFile(t, dir, "new.txt", `BenchmarkA      1  150000000 ns/op
+BenchmarkB/sub  1  300000000 ns/op
+`)
+	// Both 1.5x slower: geomean 1.5 > 1.30.
+	if code := gate(os.Stdout, base, cur, 1.30, 2.0); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	// The same numbers pass a looser gate.
+	if code := gate(os.Stdout, base, cur, 1.60, 2.0); code != 0 {
+		t.Fatalf("exit = %d, want 0 at max-ratio 1.60", code)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baselineSample)
+	cur := writeFile(t, dir, "new.txt", `BenchmarkA  1  100000000 ns/op
+`)
+	if code := gate(os.Stdout, base, cur, 10.0, 2.0); code != 1 {
+		t.Fatalf("exit = %d, want 1 (BenchmarkB/sub vanished)", code)
+	}
+}
+
+func TestGateIgnoresNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.txt", baselineSample)
+	cur := writeFile(t, dir, "new.txt", baselineSample+`BenchmarkC  1  999999999 ns/op
+`)
+	if code := gate(os.Stdout, base, cur, 1.30, 2.0); code != 0 {
+		t.Fatalf("exit = %d, want 0 (new benchmark is not gated)", code)
+	}
+}
+
+func TestParseRejectsEmptyAndDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.txt", "PASS\nok example 1.0s\n")
+	if _, err := parse(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	dup := writeFile(t, dir, "dup.txt", `BenchmarkA  1  100 ns/op
+BenchmarkA-8  1  200 ns/op
+`)
+	if _, err := parse(dup); err == nil {
+		t.Fatal("duplicate benchmark accepted")
+	}
+}

@@ -1,13 +1,13 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E24, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E25, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-opcache=false] [-benchjson BENCH_opcache.json]
-//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-opcache=false] [-prune=false] [-benchjson BENCH_opcache.json]
+//	          [-prunejson BENCH_prune.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -33,18 +33,23 @@ func main() {
 		par       = flag.Int("parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
 		opcache   = flag.Bool("opcache", true, "use the charge-replay operator memo (tables are byte-identical either way; off forces every operator to run for real)")
 		sortcache = flag.Bool("sortcache", true, "deprecated synonym for -opcache (the memo now covers all deterministic operators); either flag set to false disables it")
+		prune     = flag.Bool("prune", true, "branch-and-bound pruning of exhaustive dry runs (tables are byte-identical either way; off restores the paper's full Σ-branches accounting in the experiments that honor it)")
 		benchjson = flag.String("benchjson", "", "write the machine-readable operator-memo benchmark (wall-clock, I/O, hit rate, evictions) to this file and exit")
+		prunejson = flag.String("prunejson", "", "write the machine-readable pruning benchmark (wall-clock, planning I/Os saved, branches pruned) to this file and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	os.Exit(run(*exp, *m, *b, *scale, *seed, *list, *verify, *par,
-		*opcache && *sortcache, *benchjson, *cpuprof, *memprof))
+		*opcache, *sortcache, *prune, *benchjson, *prunejson, *cpuprof, *memprof))
 }
 
-// run holds the real main so profile writers run before os.Exit.
+// run holds the real main so profile writers run before os.Exit. The
+// -opcache/-sortcache pair maps one-to-one onto the harness fields, which
+// resolve the deprecated alias exactly like core.Options: the memo is off
+// when either flag is off.
 func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
-	memo bool, benchjson, cpuprof, memprof string) int {
+	opcache, sortcache, prune bool, benchjson, prunejson, cpuprof, memprof string) int {
 	if cpuprof != "" {
 		f, err := os.Create(cpuprof)
 		if err != nil {
@@ -80,7 +85,33 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		return 0
 	}
 
-	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed, NoMemo: !memo}
+	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed,
+		NoMemo: !opcache, NoSortCache: !sortcache, NoPrune: !prune}
+
+	if prunejson != "" {
+		res, err := harness.PruneBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(prunejson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s wall pruned/full = %.2fms/%.2fms (%.2fx)  planning IOs %d -> %d (%.1f%% saved)  pruned %d/%d branches  winner pinned=%v\n",
+				w.Name, float64(w.WallNanosPruned)/1e6, float64(w.WallNanosUnpruned)/1e6,
+				w.Speedup, w.PlanningIOsUnpruned, w.PlanningIOsPruned,
+				100*w.SavedIOsFraction, w.BranchesPruned, w.Branches, w.WinnerPinned)
+		}
+		return 0
+	}
 
 	if benchjson != "" {
 		res, err := harness.OpMemoBench(p)

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// captureRun invokes run on experiment exp at test scale with stdout
+// captured, failing on a non-zero exit.
+func captureRun(t *testing.T, exp string, opcache, sortcache, prune bool) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(exp, 64, 8, 1, 42, false, 0, 1, opcache, sortcache, prune, "", "", "", "")
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("run(%s) exited %d:\n%s", exp, code, buf.String())
+	}
+	return buf.String()
+}
+
+// The -opcache/-sortcache alias pair and -prune all carry a byte-identity
+// contract: every combination must render the same table. This pins the
+// alias resolution (either memo flag off disables the memo, matching the
+// deprecated core.Options.SortCache semantics) and the pruning claim that
+// experiment tables only report figures pruning provably does not change.
+func TestMemoAndPruneFlagMatrixTablesIdentical(t *testing.T) {
+	for _, exp := range []string{"E4", "E25"} {
+		ref := captureRun(t, exp, true, true, true)
+		if len(ref) == 0 {
+			t.Fatalf("%s rendered empty", exp)
+		}
+		for _, memo := range []struct{ op, sc bool }{
+			{true, true}, {false, true}, {true, false}, {false, false},
+		} {
+			for _, prune := range []bool{true, false} {
+				got := captureRun(t, exp, memo.op, memo.sc, prune)
+				if got != ref {
+					t.Fatalf("%s with -opcache=%v -sortcache=%v -prune=%v differs:\n%s\nwant:\n%s",
+						exp, memo.op, memo.sc, prune, got, ref)
+				}
+			}
+		}
+	}
+}

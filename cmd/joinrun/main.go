@@ -27,7 +27,8 @@ func main() {
 		header  = flag.Bool("header", false, "CSV files have a header row to skip")
 		limit   = flag.Int("limit", 20, "max rows to print (0 = unlimited)")
 		strat   = flag.String("strategy", "exhaustive", "peeling strategy: exhaustive|first|smallest")
-		par     = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results are identical at any setting)")
+		par     = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results and the winning plan are identical at any setting)")
+		prune   = flag.Bool("prune", true, "abort dry-run branches once they exceed the best completed branch's cost; results and plan are unaffected, but the planning I/O read/write split can shift (pass -prune=false to pin the I/O line across -parallel settings)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -63,7 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d distinct tuples\n", l.rel, inst.Size(l.rel))
 	}
 
-	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par}
+	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par, NoPrune: !*prune}
 	switch *strat {
 	case "exhaustive":
 		opts.Strategy = acyclicjoin.StrategyExhaustive

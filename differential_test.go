@@ -119,6 +119,7 @@ func TestDifferentialAgainstGenericJoin(t *testing.T) {
 		{"first", Options{Strategy: StrategyFirst}},
 		{"smallest", Options{Strategy: StrategySmallest}},
 		{"exhaustive", Options{Strategy: StrategyExhaustive}},
+		{"exhaustive-noprune", Options{Strategy: StrategyExhaustive, NoPrune: true}},
 		{"exhaustive-par4", Options{Strategy: StrategyExhaustive, Parallelism: 4}},
 	}
 	for trial := 0; trial < trials; trial++ {
@@ -141,6 +142,13 @@ func TestDifferentialAgainstGenericJoin(t *testing.T) {
 			if res.Count != int64(len(want)) {
 				t.Fatalf("trial %d %s: Count = %d, oracle = %d (relations %v)",
 					trial, cfg.name, res.Count, len(want), q.Relations())
+			}
+			// The planner's defensive chooser clamps are believed structurally
+			// unreachable; the counter must stay zero across the whole
+			// random-query suite (see Result.ClampedChoices).
+			if res.ClampedChoices != 0 {
+				t.Fatalf("trial %d %s: ClampedChoices = %d, want 0 (relations %v)",
+					trial, cfg.name, res.ClampedChoices, q.Relations())
 			}
 			sort.Strings(got)
 			if len(got) != len(want) {

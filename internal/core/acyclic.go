@@ -88,10 +88,25 @@ type Options struct {
 	// Parallelism bounds how many dry-run branches StrategyExhaustive may
 	// explore concurrently, each on its own child disk (extmem.Disk.NewChild).
 	// Values <= 0 use the sequential odometer reference path; any value >= 1
-	// uses the worker-pool path with that many workers. Both paths produce
-	// bit-identical Results — see runExhaustiveParallel for why. Ignored by
-	// the other strategies, which explore a single branch.
+	// uses the worker-pool path with that many workers. With NoPrune set both
+	// paths produce bit-identical Results — see runExhaustiveParallel for why.
+	// Under pruning (the default) the pinned fields — Emitted, ExecStats,
+	// Policy — are still bit-identical at every setting, but TotalStats,
+	// Prune, and (via truncated discovery) Branches depend on worker timing.
+	// Ignored by the other strategies, which explore a single branch.
 	Parallelism int
+	// NoPrune disables branch-and-bound pruning of dry-run branches under
+	// StrategyExhaustive. With pruning on (the default), a dry run is aborted
+	// the moment its charged I/O reaches the best completed branch's cost:
+	// charges are monotone, so such a branch can never win, and the abort
+	// provably changes neither the emitted results, nor ExecStats, nor the
+	// winning Policy (DESIGN.md "Branch pruning" has the tie-break proof).
+	// What pruning does change is TotalStats, which then counts only the
+	// charges made before each abort instead of the paper's full "Σ branches"
+	// round-robin accounting. Set NoPrune to restore the paper's TotalStats
+	// semantics — and fully deterministic TotalStats/Prune/Branches under
+	// Parallelism >= 1.
+	NoPrune bool
 	// Memo controls the charge-replay operator memo (internal/opcache)
 	// attached to the instance's disk. On (the default), identical operator
 	// runs — the same relation sorted, semijoined, split, or pair-joined the
@@ -153,7 +168,10 @@ type Result struct {
 	// Emitted counts join results delivered to emit.
 	Emitted int64
 	// ExecStats is the I/O cost of the emitting run (the winning branch
-	// under StrategyExhaustive; the only run otherwise).
+	// under StrategyExhaustive; the only run otherwise). Its MemHiWater is
+	// the emitting run's own peak, not the disk's lifetime hi-water mark:
+	// the planning phase's peak belongs to TotalStats, and scoping it there
+	// is what keeps ExecStats bit-identical with pruning on or off.
 	ExecStats extmem.Stats
 	// TotalStats additionally includes every dry-run branch (the paper's
 	// round-robin simulation cost; a constant factor above ExecStats).
@@ -163,6 +181,32 @@ type Result struct {
 	// Policy records, per subquery structure key, which leaf index the
 	// winning branch peeled. Diagnostic.
 	Policy map[string]int
+	// Prune reports branch-and-bound telemetry for the exhaustive strategy
+	// (Started equals Branches; Pruned is zero under Options.NoPrune). On the
+	// sequential path the split is deterministic; under Parallelism >= 1 the
+	// Pruned/Completed split and ChargedBeforeAbort depend on worker timing
+	// and vary run to run.
+	Prune PruneStats
+	// ClampedChoices counts chooser fallbacks: a recorded decision index met
+	// a subquery offering fewer peelable leaves than when the decision was
+	// made. Leaf options are a function of subquery structure and decisions
+	// are keyed by that structure, so this is believed structurally
+	// unreachable — the counter surfaces the defensive clamp instead of
+	// letting it hide, and the test suite asserts it stays zero.
+	ClampedChoices int64
+}
+
+// PruneStats is branch-and-bound telemetry for one exhaustive run.
+type PruneStats struct {
+	// Started counts dry-run branches begun; Pruned of them were aborted at
+	// the incumbent bound and Completed ran to the end.
+	Started, Pruned, Completed int
+	// ChargedBeforeAbort totals the I/Os the pruned branches charged before
+	// aborting; these charges are included in TotalStats. The I/Os pruning
+	// *saved* are whatever the aborted suffixes would have charged — not
+	// observable inside a pruned run; harness experiment E25 measures them
+	// A/B against an unpruned run.
+	ChargedBeforeAbort int64
 }
 
 // Run evaluates the Berge-acyclic join (g, in), invoking emit per result.
@@ -185,11 +229,13 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 			chooser: staticChooser(opts.Strategy),
 		}
 		before := disk.Stats()
+		stopPeak := disk.StartMemPeak()
 		if err := ex.run(g, in); err != nil {
 			return nil, err
 		}
 		res.Emitted = ex.emitted
 		res.ExecStats = disk.Stats().Sub(before)
+		res.ExecStats.MemHiWater = stopPeak()
 		res.TotalStats = res.ExecStats
 		res.Branches = 1
 		return res, nil
@@ -203,6 +249,17 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 
 // runExhaustiveSeq is the sequential reference path: an odometer over
 // structure-keyed decision points, one dry run per policy on the shared disk.
+//
+// Branch-and-bound (unless opts.NoPrune): once an incumbent exists, each dry
+// run gets a charge budget of the incumbent's cost and is aborted the moment
+// it reaches it. Pruning at >= is always tie-safe here — the incumbent is
+// DFS-earlier than every branch still to come, and winner selection breaks
+// ties DFS-first (strict <) — so the winning policy is exactly the unpruned
+// one. A pruned run may leave later decision points undiscovered, skipping
+// their alternative subtrees; every branch in such a subtree shares the
+// execution prefix up to the abort, so it too would have charged the full
+// bound before diverging and could never have won. At least one branch always
+// completes: no budget is armed before the first incumbent exists.
 func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
 	type branchOutcome struct {
 		cost   int64
@@ -220,14 +277,33 @@ func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 			dry:     true,
 		}
 		before := disk.Stats()
-		if err := ex.run(g, in); err != nil {
+		var pruned bool
+		var err error
+		if !opts.NoPrune && best != nil {
+			disk.SetChargeBudget(before.IOs() + best.cost)
+			pruned, err = disk.CatchBudgetExceeded(func() error { return ex.run(g, in) })
+			disk.ClearChargeBudget()
+		} else {
+			err = ex.run(g, in)
+		}
+		if err != nil {
 			return nil, err
 		}
 		delta := disk.Stats().Sub(before)
 		grand = grand.Add(delta)
 		res.Branches++
-		if best == nil || delta.IOs() < best.cost {
-			best = &branchOutcome{cost: delta.IOs(), policy: odo.snapshot()}
+		res.Prune.Started++
+		if pruned {
+			res.Prune.Pruned++
+			res.Prune.ChargedBeforeAbort += delta.IOs()
+		} else {
+			res.Prune.Completed++
+			if best == nil || delta.IOs() < best.cost {
+				best = &branchOutcome{cost: delta.IOs(), policy: odo.snapshot()}
+			}
+		}
+		if trailHook != nil {
+			trailHook(odo.trail())
 		}
 		if !odo.advance() {
 			break
@@ -236,28 +312,42 @@ func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 			break
 		}
 	}
+	res.ClampedChoices += odo.clamps
 	return finishExhaustive(g, in, emit, opts, disk, res, grand, best.policy)
 }
 
+// trailHook, when non-nil, receives each explored branch's decision trail —
+// structure keys and chosen leaf indices in discovery order — in DFS
+// (odometer) order. Test-only instrumentation: the odometer property tests
+// use it to prove the parallel scheduler enumerates exactly the sequential
+// branch set.
+var trailHook func(keys []string, choices []int)
+
 // finishExhaustive re-runs the winning policy with emission on the shared
-// disk and assembles the Result; common tail of both exhaustive paths.
+// disk and assembles the Result; common tail of both exhaustive paths. The
+// wet re-run never carries a charge budget: the winner must execute in full.
 func finishExhaustive(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result, grand extmem.Stats, fixed map[string]int) (*Result, error) {
 	ex := &executor{
 		emit:   emit,
 		opts:   opts,
 		nAttrs: g.MaxAttr() + 1,
 		chooser: func(key string, leaves []*hypergraph.Edge, in relation.Instance) int {
-			if d, ok := fixed[key]; ok && d < len(leaves) {
-				return d
+			if d, ok := fixed[key]; ok {
+				if d < len(leaves) {
+					return d
+				}
+				res.ClampedChoices++
 			}
 			return 0
 		},
 	}
 	before := disk.Stats()
+	stopPeak := disk.StartMemPeak()
 	if err := ex.run(g, in); err != nil {
 		return nil, err
 	}
 	res.ExecStats = disk.Stats().Sub(before)
+	res.ExecStats.MemHiWater = stopPeak()
 	res.TotalStats = grand.Add(res.ExecStats)
 	res.Emitted = ex.emitted
 	res.Policy = fixed
@@ -300,6 +390,10 @@ type odometer struct {
 	decisions map[string]int
 	radix     map[string]int
 	order     []string
+	// clamps counts decisions that met fewer options than recorded — same
+	// structure reappearing with fewer leaves cannot happen (options are
+	// structural), so this stays zero; see Result.ClampedChoices.
+	clamps int64
 }
 
 func newOdometer() *odometer {
@@ -309,8 +403,7 @@ func newOdometer() *odometer {
 func (o *odometer) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
 	if d, ok := o.decisions[key]; ok {
 		if d >= len(leaves) {
-			// Same structure reappearing with fewer options cannot happen
-			// (options are structural), but stay safe.
+			o.clamps++
 			return 0
 		}
 		return d
@@ -319,6 +412,16 @@ func (o *odometer) choose(key string, leaves []*hypergraph.Edge, _ relation.Inst
 	o.radix[key] = len(leaves)
 	o.order = append(o.order, key)
 	return 0
+}
+
+// trail returns the current branch's decision points in discovery order.
+func (o *odometer) trail() (keys []string, choices []int) {
+	keys = append([]string(nil), o.order...)
+	choices = make([]int, len(keys))
+	for i, k := range keys {
+		choices[i] = o.decisions[k]
+	}
+	return keys, choices
 }
 
 // advance bumps to the next policy; false when exhausted.

@@ -88,8 +88,12 @@ func BenchmarkAcyclicJoinL5(b *testing.B) {
 
 // BenchmarkExhaustiveBranches compares sequential and concurrent branch
 // exploration on a 16-branch L5 at harness Scale 4 (the line experiments use
-// 512*Scale rows per relation). Every sub-benchmark asserts its Result is
-// bit-identical to the sequential reference; only wall-clock time may differ.
+// 512*Scale rows per relation). All arms run with branch-and-bound pruning on
+// (the default), so /seq tracks the pruning speedup against the committed
+// baseline. Every sub-benchmark asserts the pinned pruning contract against
+// the sequential reference: emitted rows, execution stats, and the winning
+// policy are bit-identical; only wall-clock time, the prune telemetry, and
+// the planning-phase read/write split may differ (see prune_test.go).
 // The dry runs are CPU-bound, so the speedup tracks GOMAXPROCS: on a single
 // core par* matches seq (showing the scheduler's overhead is in the noise),
 // on N >= 2 cores the par* variants win roughly min(N, wave width)-fold on
@@ -127,17 +131,22 @@ func BenchmarkExhaustiveBranches(b *testing.B) {
 			g, in := workload.LineUniform(d, rng, 5, 2048, 512)
 			b.ReportAllocs()
 			b.ResetTimer()
+			var pruned int
 			for i := 0; i < b.N; i++ {
 				r, err := Run(g, in, func(tuple.Assignment) {},
 					Options{Strategy: StrategyExhaustive, Parallelism: c.par, Memo: c.memo})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if !reflect.DeepEqual(r, ref) {
-					b.Fatalf("%s diverged: %+v, want %+v", c.name, r, ref)
+				if r.Emitted != ref.Emitted || r.ExecStats != ref.ExecStats ||
+					!reflect.DeepEqual(r.Policy, ref.Policy) {
+					b.Fatalf("%s diverged: emitted %d/%d exec %+v/%+v policy %v/%v",
+						c.name, r.Emitted, ref.Emitted, r.ExecStats, ref.ExecStats, r.Policy, ref.Policy)
 				}
+				pruned = r.Prune.Pruned
 			}
 			b.ReportMetric(float64(ref.Branches), "branches")
+			b.ReportMetric(float64(pruned), "pruned")
 		})
 	}
 }

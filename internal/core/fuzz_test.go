@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+)
+
+// FuzzPruneOracle is the differential oracle for branch-and-bound pruning:
+// a fuzz-chosen acyclic query and instance run under the exhaustive strategy
+// with pruning on (at a fuzz-chosen worker count) must reproduce the
+// unpruned sequential run's pinned fields exactly — the emitted rows in
+// emission order, the winning branch's ExecStats, and the winning Policy.
+// Prune telemetry must stay internally consistent and the defensive chooser
+// clamp must never fire. TotalStats and the Prune split are deliberately
+// not compared: aborting dry runs changes what the planning phase charges
+// (that is the point), and under parallelism the split is timing-dependent.
+func FuzzPruneOracle(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(20), uint8(1), uint8(0))
+	f.Add(uint8(1), uint8(2), uint8(25), uint8(2), uint8(4))
+	f.Add(uint8(2), uint8(1), uint8(12), uint8(0), uint8(2))
+	f.Add(uint8(3), uint8(0), uint8(30), uint8(1), uint8(8))
+	f.Fuzz(func(t *testing.T, shape, size, rows, dom, par uint8) {
+		var g *hypergraph.Graph
+		switch shape % 4 {
+		case 0:
+			g = hypergraph.Line(2 + int(size)%4)
+		case 1:
+			g = hypergraph.StarQuery(2 + int(size)%3)
+		case 2:
+			g = hypergraph.Lollipop(2 + int(size)%2)
+		case 3:
+			g = hypergraph.Dumbbell(2, 4+int(size)%2)
+		}
+		build := func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(int64(shape)<<24 | int64(size)<<16 | int64(rows)<<8 | int64(dom)))
+			return g, randCoreInstance(d, rng, g, 5+int(rows)%28, 2+int(dom)%3)
+		}
+		ref, refRows, _, refErr := engineRunOpts(build,
+			Options{Strategy: StrategyExhaustive, NoPrune: true})
+		pr, prRows, _, prErr := engineRunOpts(build,
+			Options{Strategy: StrategyExhaustive, Parallelism: int(par) % 5})
+		if (refErr == nil) != (prErr == nil) {
+			t.Fatalf("errors diverge: unpruned %v, pruned %v", refErr, prErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != prErr.Error() {
+				t.Fatalf("error text diverges: %q vs %q", refErr, prErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(prRows, refRows) {
+			t.Fatalf("emitted rows diverge: %d pruned vs %d unpruned", len(prRows), len(refRows))
+		}
+		if pr.Emitted != ref.Emitted || pr.ExecStats != ref.ExecStats {
+			t.Fatalf("exec diverges: emitted %d/%d stats %+v/%+v",
+				pr.Emitted, ref.Emitted, pr.ExecStats, ref.ExecStats)
+		}
+		if !reflect.DeepEqual(pr.Policy, ref.Policy) {
+			t.Fatalf("winning policy diverges: %v vs %v", pr.Policy, ref.Policy)
+		}
+		if pr.ClampedChoices != 0 || ref.ClampedChoices != 0 {
+			t.Fatalf("chooser clamp fired: pruned %d, unpruned %d", pr.ClampedChoices, ref.ClampedChoices)
+		}
+		if pr.Prune.Started != pr.Prune.Pruned+pr.Prune.Completed || pr.Prune.Completed < 1 {
+			t.Fatalf("inconsistent prune telemetry: %+v", pr.Prune)
+		}
+		if ref.Prune.Pruned != 0 {
+			t.Fatalf("NoPrune arm pruned %d branches", ref.Prune.Pruned)
+		}
+	})
+}

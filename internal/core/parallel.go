@@ -10,7 +10,12 @@
 // into the parent afterwards (extmem.Disk.Absorb) in the sequential branch
 // order. Addition and max make the merge order-insensitive, which is why the
 // merged stats — and therefore the whole Result — are bit-identical to the
-// sequential path at any worker count.
+// sequential path at any worker count when pruning is disabled. With
+// branch-and-bound pruning on (the default), abort points depend on worker
+// timing, so TotalStats, Branches, and Prune may vary run to run; the fields
+// that stay bit-identical regardless — emitted results, ExecStats, and the
+// winning Policy — are exactly the ones the paper's guarantee is about (see
+// pruneState and DESIGN.md "Branch pruning").
 //
 // Enumeration is the only subtlety: the odometer discovers decision points
 // *during* a run, so branch k+1's policy depends on branch k's trail. The
@@ -25,6 +30,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -44,6 +50,13 @@ type trail struct {
 	keys    []string
 	choices []int
 	radixes []int
+	// clamps counts re-encounters that found fewer leaves than the recorded
+	// decision allows — structurally unreachable; see Result.ClampedChoices.
+	// (The imposed-beyond-radix clamp in choose is different: the scheduler
+	// may legitimately impose a choice onto a structure that, under earlier
+	// different choices, never offers it, and falling back to the default
+	// leaf there is specified behaviour.)
+	clamps int64
 }
 
 func newTrail(imposed map[string]int) *trail {
@@ -56,7 +69,8 @@ func newTrail(imposed map[string]int) *trail {
 func (t *trail) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
 	if i, ok := t.seen[key]; ok {
 		if t.choices[i] >= len(leaves) {
-			// Mirrors the odometer's defensive clamp; structurally unreachable.
+			// Mirrors the odometer's clamp counter; see Result.ClampedChoices.
+			t.clamps++
 			return 0
 		}
 		return t.choices[i]
@@ -105,12 +119,20 @@ type branch struct {
 	// fixedLen is how many leading decisions the scheduler imposed;
 	// alternatives at positions before it belong to ancestor tasks.
 	fixedLen int
-	trail    *trail
-	child    *extmem.Disk
-	err      error
+	// prefix is the imposed leading choice vector in decision order; the
+	// branch's full choice vector is prefix followed by zeros (defaults), so
+	// its DFS position relative to any full trail is known before it runs.
+	prefix []int
+	trail  *trail
+	child  *extmem.Disk
+	// stats is the child's accounting captured when the dry run finished, so
+	// the child disk itself can be dropped right after Absorb.
+	stats  extmem.Stats
+	pruned bool
+	err    error
 }
 
-func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options) {
+func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options, ps *pruneState) {
 	ex := &executor{
 		emit:    func(tuple.Assignment) {},
 		opts:    opts,
@@ -118,7 +140,96 @@ func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options)
 		chooser: b.trail.choose,
 		dry:     true,
 	}
-	b.err = ex.run(g, in.Rebind(b.child))
+	if ps == nil {
+		b.err = ex.run(g, in.Rebind(b.child))
+	} else {
+		ps.register(b)
+		b.pruned, b.err = b.child.CatchBudgetExceeded(func() error {
+			return ex.run(g, in.Rebind(b.child))
+		})
+		ps.complete(b, b.child.Stats().IOs(), b.pruned || b.err != nil)
+	}
+	b.stats = b.child.Stats()
+}
+
+// pruneState shares the branch-and-bound incumbent across workers. The
+// incumbent (cost bound plus the full choice vector of the branch that set
+// it) lives under a mutex; each in-flight branch's abort watermark is an
+// atomic on its child disk, tightened by whichever worker improves the bound.
+//
+// Tie-break care-proof: the sequential winner is the DFS-first branch of
+// minimum cost, so a branch may be killed at cost == bound only if it cannot
+// precede the incumbent in DFS order. A branch's DFS position is static —
+// its trail is the imposed prefix followed by zeros, the lexicographic
+// minimum of its subtree — so cutoff() decides per branch: watermark bound+1
+// (abort only when strictly worse) when the branch precedes or equals the
+// incumbent, bound (abort ties too) otherwise. Bounds only ever strictly
+// improve, hence per-branch cutoffs are monotone non-increasing, and a charge
+// racing a tightening store reads at worst the older, more lenient watermark
+// — never an unsound one. The branch that ends up cheapest can never be
+// aborted (its cutoff is always above its true cost), and no bound exists
+// before the first branch completes, so some branch always survives.
+type pruneState struct {
+	mu        sync.Mutex
+	haveBound bool
+	bound     int64
+	incumbent []int
+	inflight  map[*branch]struct{}
+}
+
+func newPruneState() *pruneState { return &pruneState{inflight: map[*branch]struct{}{}} }
+
+// cutoff returns b's abort watermark under the current incumbent (mu held).
+func (p *pruneState) cutoff(b *branch) int64 {
+	if precedesOrEquals(b.prefix, p.incumbent) {
+		return p.bound + 1
+	}
+	return p.bound
+}
+
+// register arms b's charge budget under the current incumbent, if any, and
+// tracks b for later tightening. Called from b's worker before its dry run.
+func (p *pruneState) register(b *branch) {
+	p.mu.Lock()
+	if p.haveBound {
+		b.child.SetChargeBudget(p.cutoff(b))
+	}
+	p.inflight[b] = struct{}{}
+	p.mu.Unlock()
+}
+
+// complete retires b; a completed (not pruned, not failed) branch that
+// improves the bound immediately tightens every in-flight branch's budget.
+func (p *pruneState) complete(b *branch, cost int64, abandoned bool) {
+	p.mu.Lock()
+	delete(p.inflight, b)
+	if !abandoned && (!p.haveBound || cost < p.bound) {
+		p.haveBound = true
+		p.bound = cost
+		p.incumbent = append(p.incumbent[:0], b.trail.choices...)
+		for o := range p.inflight {
+			o.child.TightenChargeBudget(p.cutoff(o))
+		}
+	}
+	p.mu.Unlock()
+}
+
+// precedesOrEquals reports whether the branch whose full choice vector is
+// prefix followed by all zeros sorts <= inc in DFS (lexicographic) order.
+// Positions past the prefix are zero — lexicographically minimal — so only
+// the imposed prefix can order the branch after inc.
+func precedesOrEquals(prefix, inc []int) bool {
+	for i, c := range prefix {
+		if i >= len(inc) {
+			// Every compared position was equal and inc ran out: inc is a
+			// strict prefix of the branch's vector, so inc sorts first.
+			return false
+		}
+		if c != inc[i] {
+			return c < inc[i]
+		}
+	}
+	return true
 }
 
 // runExhaustiveParallel explores the peeling branches wave by wave: the
@@ -135,6 +246,10 @@ func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options)
 // queries produce, so this is theoretical.
 func runExhaustiveParallel(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
 	workers := opts.Parallelism
+	var ps *pruneState
+	if !opts.NoPrune {
+		ps = newPruneState()
+	}
 	var all []*branch
 	frontier := []*branch{{trail: newTrail(nil)}}
 	spawned := 1
@@ -144,21 +259,30 @@ func runExhaustiveParallel(g *hypergraph.Graph, in relation.Instance, emit Emit,
 			// which must be quiescent. It is — branches only charge children.
 			b.child = disk.NewChild()
 		}
-		runWave(frontier, workers, func(b *branch) { b.dryRun(g, in, opts) })
+		runWave(frontier, workers, func(b *branch) { b.dryRun(g, in, opts, ps) })
 		all = append(all, frontier...)
 		var next []*branch
 		for _, b := range frontier {
 			if b.err != nil {
 				continue // the whole run aborts; no point expanding
 			}
+			// Pruned branches still expand: alternatives at the decision
+			// points they did reach are live (the sequential odometer
+			// enumerates them too). Points past the abort were never
+			// discovered, so their subtrees are skipped — every branch there
+			// shares the pruned branch's execution prefix and would abort at
+			// the same watermark without ever diverging from it.
 			for i := b.fixedLen; i < len(b.trail.keys) && spawned < maxBranches; i++ {
 				for c := b.trail.choices[i] + 1; c < b.trail.radixes[i] && spawned < maxBranches; c++ {
 					imp := make(map[string]int, i+1)
+					prefix := make([]int, i+1)
 					for j := 0; j < i; j++ {
 						imp[b.trail.keys[j]] = b.trail.choices[j]
+						prefix[j] = b.trail.choices[j]
 					}
 					imp[b.trail.keys[i]] = c
-					next = append(next, &branch{fixedLen: i + 1, trail: newTrail(imp)})
+					prefix[i] = c
+					next = append(next, &branch{fixedLen: i + 1, prefix: prefix, trail: newTrail(imp)})
 					spawned++
 				}
 			}
@@ -184,15 +308,41 @@ func runExhaustiveParallel(g *hypergraph.Graph, in relation.Instance, emit Emit,
 	}
 
 	before := disk.Stats()
-	best := 0
+	best := -1
 	for i, b := range all {
 		disk.Absorb(b.child)
-		if b.child.Stats().IOs() < all[best].child.Stats().IOs() {
+		// The child disk is dead once absorbed; its stats were captured at
+		// the end of the dry run. Dropping the pointer releases the branch's
+		// scratch-file payloads (and recorder state) instead of retaining
+		// every branch's files until the whole run ends — on wide fan-outs
+		// that is the difference between O(1) and O(branches) live heap.
+		b.child = nil
+		if b.pruned {
+			res.Prune.Pruned++
+			res.Prune.ChargedBeforeAbort += b.stats.IOs()
+			continue
+		}
+		res.Prune.Completed++
+		if best < 0 || b.stats.IOs() < all[best].stats.IOs() {
 			best = i
+		}
+	}
+	if best < 0 {
+		// Unreachable: no budget exists before the first branch completes,
+		// and the branch that set the final bound is itself never aborted.
+		return nil, fmt.Errorf("core: internal error: every branch was pruned")
+	}
+	if trailHook != nil {
+		for _, b := range all {
+			trailHook(append([]string(nil), b.trail.keys...), append([]int(nil), b.trail.choices...))
 		}
 	}
 	grand := disk.Stats().Sub(before)
 	res.Branches = len(all)
+	res.Prune.Started = len(all)
+	for _, b := range all {
+		res.ClampedChoices += b.trail.clamps
+	}
 	return finishExhaustive(g, in, emit, opts, disk, res, grand, all[best].trail.policy())
 }
 

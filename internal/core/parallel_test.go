@@ -20,14 +20,22 @@ type builder func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance)
 
 // engineRun evaluates the exhaustive strategy with the given parallelism on
 // a fresh disk, returning the Result, the emitted assignments in emission
-// order, the final disk stats, and the error (if any).
+// order, the final disk stats, and the error (if any). It runs with NoPrune:
+// full-Result bit-identity across worker counts is the unpruned contract
+// (under pruning only Emitted/ExecStats/Policy are pinned — see
+// prune_test.go).
 func engineRun(b builder, parallelism int) (*Result, []string, extmem.Stats, error) {
+	return engineRunOpts(b, Options{Strategy: StrategyExhaustive, Parallelism: parallelism, NoPrune: true})
+}
+
+// engineRunOpts is engineRun with full control over the options.
+func engineRunOpts(b builder, opts Options) (*Result, []string, extmem.Stats, error) {
 	d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
 	g, in := b(d)
 	var emitted []string
 	r, err := Run(g, in, func(a tuple.Assignment) {
 		emitted = append(emitted, a.String())
-	}, Options{Strategy: StrategyExhaustive, Parallelism: parallelism})
+	}, opts)
 	return r, emitted, d.Stats(), err
 }
 

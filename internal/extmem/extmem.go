@@ -94,6 +94,13 @@ func (s Stats) String() string {
 // c*M tuples of memory.
 var ErrMemoryExceeded = errors.New("extmem: memory allowance exceeded")
 
+// ErrBudgetExceeded is the typed sentinel thrown (as a panic) by the charging
+// path when an armed charge budget is reached: the disk's accumulated I/O
+// count has hit the watermark set with SetChargeBudget, so whatever run is in
+// progress can no longer beat the incumbent it was measured against. Catch it
+// with CatchBudgetExceeded, which unwinds the run cleanly.
+var ErrBudgetExceeded = errors.New("extmem: charge budget exceeded")
+
 // Disk is a simulated disk plus the memory accountant. A single Disk is not
 // safe for concurrent use — each instance is confined to one goroutine, as
 // the simulated machine is sequential. Concurrency is expressed with child
@@ -124,6 +131,15 @@ type Disk struct {
 	opMemo any
 	// recorders is the stack of active charge-tape recorders (see StartTape).
 	recorders []*tapeRecorder
+	// memPeaks is the stack of active interval peak watches (StartMemPeak).
+	memPeaks []*int
+	// budget holds the armed charge-budget watermark, encoded as limit+1 so
+	// the zero value means "no budget". It is the one atomically accessed
+	// field of an otherwise goroutine-confined Disk: a branch-and-bound
+	// scheduler may tighten another goroutine's budget mid-run (see
+	// TightenChargeBudget), and tightening is monotone, so a charge racing a
+	// store only ever reads a too-lenient limit — never an unsound one.
+	budget atomic.Int64
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -175,6 +191,11 @@ func (d *Disk) Grab(n int) error {
 			rec.peak = delta
 		}
 	}
+	for _, p := range d.memPeaks {
+		if d.memInUse > *p {
+			*p = d.memInUse
+		}
+	}
 	if d.memInUse > d.memCap {
 		return fmt.Errorf("%w: in use %d > cap %d (c*M)", ErrMemoryExceeded, d.memInUse, d.memCap)
 	}
@@ -192,8 +213,62 @@ func (d *Disk) Release(n int) {
 // MemInUse returns the currently accounted in-memory tuple count.
 func (d *Disk) MemInUse() int { return d.memInUse }
 
+// StartMemPeak begins tracking the absolute in-use peak (in tuples) on d
+// and returns a stop function reporting the maximum held between the two
+// calls. Stats.MemHiWater spans the disk's whole lifetime; a watch
+// attributes a hi-water mark to one bounded run instead (the exhaustive
+// strategy uses it so ExecStats reports the winning re-run's own peak,
+// independent of what the planning phase touched). Watches nest; stop
+// functions must be called in LIFO order and exactly once.
+func (d *Disk) StartMemPeak() func() int {
+	peak := d.memInUse
+	d.memPeaks = append(d.memPeaks, &peak)
+	return func() int {
+		n := len(d.memPeaks)
+		if n == 0 || d.memPeaks[n-1] != &peak {
+			panic("extmem: StartMemPeak stop functions called out of order")
+		}
+		d.memPeaks = d.memPeaks[:n-1]
+		return peak
+	}
+}
+
 func (d *Disk) chargeRead(blocks int64) {
-	if d.suspended == 0 {
+	if d.suspended != 0 {
+		return
+	}
+	d.applyRead(d.budgetAllowance(blocks))
+}
+
+func (d *Disk) chargeWrite(blocks int64) {
+	if d.suspended != 0 {
+		return
+	}
+	d.applyWrite(d.budgetAllowance(blocks))
+}
+
+// budgetAllowance checks an armed charge budget against a pending charge of
+// the given size. If the charge would push the accumulated I/O count to (or
+// past) the watermark, it applies the part of the charge that fits below it —
+// so the final total lands on the watermark exactly, independent of charge
+// granularity (a tape replay merges many unit charges into one; clamping makes
+// the aborted partial cost identical either way) — and panics with
+// ErrBudgetExceeded. Otherwise it returns blocks unchanged for the caller to
+// apply.
+func (d *Disk) budgetAllowance(blocks int64) int64 {
+	lim := d.budget.Load()
+	if lim == 0 {
+		return blocks
+	}
+	limit := lim - 1
+	if d.stats.IOs()+blocks < limit {
+		return blocks
+	}
+	return limit - d.stats.IOs() // may be <= 0 when the budget was tightened below the total already charged
+}
+
+func (d *Disk) applyRead(blocks int64) {
+	if blocks > 0 {
 		d.stats.Reads += blocks
 		if d.phaseStats != nil {
 			s := d.phaseStats[d.phaseLabel()]
@@ -202,10 +277,13 @@ func (d *Disk) chargeRead(blocks int64) {
 		}
 		d.recordCharge(blocks, 0)
 	}
+	if lim := d.budget.Load(); lim != 0 && d.stats.IOs() >= lim-1 {
+		panic(ErrBudgetExceeded)
+	}
 }
 
-func (d *Disk) chargeWrite(blocks int64) {
-	if d.suspended == 0 {
+func (d *Disk) applyWrite(blocks int64) {
+	if blocks > 0 {
 		d.stats.Writes += blocks
 		if d.phaseStats != nil {
 			s := d.phaseStats[d.phaseLabel()]
@@ -213,6 +291,9 @@ func (d *Disk) chargeWrite(blocks int64) {
 			d.phaseStats[d.phaseLabel()] = s
 		}
 		d.recordCharge(0, blocks)
+	}
+	if lim := d.budget.Load(); lim != 0 && d.stats.IOs() >= lim-1 {
+		panic(ErrBudgetExceeded)
 	}
 }
 
@@ -273,6 +354,84 @@ func (d *Disk) Suspend() func() {
 
 // IsSuspended reports whether I/O charging is currently suspended.
 func (d *Disk) IsSuspended() bool { return d.suspended > 0 }
+
+// SetChargeBudget arms the charge budget: the moment the disk's accumulated
+// I/O count (Stats().IOs()) reaches limit, the charging path panics with
+// ErrBudgetExceeded. The crossing charge is clamped so the accumulated total
+// lands on limit exactly — see budgetAllowance — making the partial cost of an
+// aborted run deterministic regardless of how its charges were batched.
+// Suspended charges bypass the budget like they bypass the counters.
+//
+// The budget is transient accounting state: it is not inherited by NewChild
+// and not folded by Absorb. Callers arm it around one measured run and clear
+// it afterwards.
+func (d *Disk) SetChargeBudget(limit int64) {
+	if limit < 0 {
+		limit = 0
+	}
+	d.budget.Store(limit + 1)
+}
+
+// TightenChargeBudget lowers the budget to limit, arming it if it was not
+// armed. Unlike every other Disk method it may be called from another
+// goroutine: tightening is monotone (the watermark only ever decreases), so
+// the owning goroutine's charges racing the store read, at worst, the old and
+// more lenient limit — the abort then simply happens a charge later.
+func (d *Disk) TightenChargeBudget(limit int64) {
+	if limit < 0 {
+		limit = 0
+	}
+	for {
+		cur := d.budget.Load()
+		if cur != 0 && cur <= limit+1 {
+			return
+		}
+		if d.budget.CompareAndSwap(cur, limit+1) {
+			return
+		}
+	}
+}
+
+// ClearChargeBudget disarms the charge budget.
+func (d *Disk) ClearChargeBudget() { d.budget.Store(0) }
+
+// ChargeBudget returns the armed watermark, if any.
+func (d *Disk) ChargeBudget() (limit int64, armed bool) {
+	lim := d.budget.Load()
+	if lim == 0 {
+		return 0, false
+	}
+	return lim - 1, true
+}
+
+// CatchBudgetExceeded runs fn, converting a charge-budget abort into a clean
+// (true, nil) return. The panic unwinds fn from wherever the crossing charge
+// happened, so the disk's transient bookkeeping can be mid-operation; the
+// state captured at the call — phase label and nesting depth, the open tape
+// recorder stack, and the memory accountant's in-use count — is restored
+// before returning. Durable accounting is deliberately kept: the I/O charged
+// before the abort stays in Stats (that is the measured partial cost of the
+// aborted run), and the hi-water mark keeps any peak the aborted run reached.
+// Panics other than ErrBudgetExceeded propagate unchanged.
+func (d *Disk) CatchBudgetExceeded(fn func() error) (aborted bool, err error) {
+	phase, depth := d.phase, d.phaseDepth
+	nrec, npeaks, mem := len(d.recorders), len(d.memPeaks), d.memInUse
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); !ok || !errors.Is(e, ErrBudgetExceeded) {
+			panic(r)
+		}
+		d.phase, d.phaseDepth = phase, depth
+		d.recorders = d.recorders[:nrec]
+		d.memPeaks = d.memPeaks[:npeaks]
+		d.memInUse = mem
+		aborted, err = true, nil
+	}()
+	return false, fn()
+}
 
 // ReplayIO charges a previously recorded I/O delta as if the work had been
 // redone: the charges respect suspension and the current phase label exactly

@@ -266,7 +266,9 @@ func runE4(p Params) (*Table, error) {
 		d2 := newDisk(p)
 		g2, in2 := workload.Line3WorstCase(d2, n, n)
 		var res2 int64
-		r, err := core.Run(g2, in2, countEmit(&res2), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true})
+		// NoPrune pinned: the "incl. planning" row below reports the paper's
+		// full Σ-branches round-robin accounting, which pruning would shrink.
+		r, err := core.Run(g2, in2, countEmit(&res2), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true, NoPrune: true})
 		if err != nil {
 			return nil, err
 		}

@@ -101,7 +101,7 @@ func runE5(p Params) (*Table, error) {
 		f2 := lin + szs[0]*szs[2]*szs[3]/(mm*mm*float64(mp.B))
 		bound := math.Min(f1, f2)
 		var res int64
-		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true})
+		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true, NoPrune: p.NoPrune})
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +245,7 @@ func runE7(p Params) (*Table, error) {
 		return nil, err
 	}
 	var res2 int64
-	r, err := core.Run(g2, in2, countEmit(&res2), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true})
+	r, err := core.Run(g2, in2, countEmit(&res2), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true, NoPrune: p.NoPrune})
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,10 @@ func runMemoArm(p Params, w int, arm memoArm) (extmem.Stats, int64, opcache.Stat
 		Parallelism: arm.parallelism,
 		Memo:        arm.mode,
 		MemoLimits:  arm.limits,
+		// Full-stats bit-identity across memo modes is an unpruned contract:
+		// see runSortCacheArm. Pinned here so E24's cross-arm comparison (and
+		// its parallel arm) stays exact.
+		NoPrune: true,
 	})
 	elapsed := time.Since(start)
 	var cs opcache.Stats

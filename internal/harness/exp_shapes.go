@@ -176,7 +176,7 @@ func runE12(p Params) (*Table, error) {
 		}
 		bound := math.Pow(2, boundLog) + lin/float64(p.B)
 		var res int64
-		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true})
+		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true, NoPrune: p.NoPrune})
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +241,7 @@ func runE13(p Params) (*Table, error) {
 		}
 		bound := math.Pow(2, boundLog) + lin/float64(p.B)
 		var res int64
-		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true})
+		r, err := core.Run(g, in, countEmit(&res), core.Options{Strategy: core.StrategyExhaustive, AssumeReduced: true, NoPrune: p.NoPrune})
 		if err != nil {
 			return nil, err
 		}

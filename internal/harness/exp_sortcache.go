@@ -62,6 +62,12 @@ func runSortCacheArm(p Params, w int, cached bool) (extmem.Stats, int64, opcache
 	_, err := core.Run(g, in, countEmit(&n), core.Options{
 		Strategy: core.StrategyExhaustive,
 		Memo:     mode,
+		// The A/B claim compares full Stats (reads/writes split included)
+		// across memo modes, which only holds unpruned: a budget abort can
+		// land mid-operator on a different point of the read/write split
+		// under replay than under a real run (totals are clamped identically
+		// either way). E25 covers the pruned side.
+		NoPrune: true,
 	})
 	elapsed := time.Since(start)
 	var cs opcache.Stats

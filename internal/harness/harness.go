@@ -32,6 +32,15 @@ type Params struct {
 	//
 	// Deprecated: set NoMemo instead.
 	NoSortCache bool
+	// NoPrune disables branch-and-bound pruning of exhaustive-strategy dry
+	// runs in the experiments that honor it. Experiment tables report
+	// execution-cost figures that pruning provably does not change, so every
+	// table is byte-identical under either setting; experiments whose PURPOSE
+	// is the paper's full Σ-branches planning accounting (E4's
+	// "incl. planning" row) or a full-stats memo A/B (E23, E24) pin NoPrune
+	// internally and ignore this knob. E25 measures the pruned-vs-unpruned
+	// difference explicitly.
+	NoPrune bool
 }
 
 // WithDefaults fills zero fields.

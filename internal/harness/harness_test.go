@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"acyclicjoin/internal/opcache"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"E19", "E20", "E21", "E22", "E23", "E24"}
+		"E19", "E20", "E21", "E22", "E23", "E24", "E25"}
 	for _, id := range want {
 		if Get(id) == nil {
 			t.Errorf("experiment %s not registered", id)
@@ -119,5 +121,24 @@ func TestVerifySweep(t *testing.T) {
 	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// NoSortCache is the deprecated alias of NoMemo: newDisk attaches the
+// operator memo only when BOTH are false (mirroring the core Options
+// resolution, where the memo is off when either field is off).
+func TestNoSortCacheAliasMatrix(t *testing.T) {
+	cases := []struct{ noMemo, noSortCache, want bool }{
+		{false, false, true},
+		{true, false, false},
+		{false, true, false},
+		{true, true, false},
+	}
+	for _, c := range cases {
+		d := newDisk(Params{M: 64, B: 8, NoMemo: c.noMemo, NoSortCache: c.noSortCache})
+		if got := opcache.Of(d) != nil; got != c.want {
+			t.Errorf("NoMemo=%v NoSortCache=%v: memo attached = %v, want %v",
+				c.noMemo, c.noSortCache, got, c.want)
+		}
 	}
 }

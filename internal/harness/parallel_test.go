@@ -52,12 +52,14 @@ func TestRunAllEmptyAndSingle(t *testing.T) {
 }
 
 // Harness-style workloads (random tree-structured graphs and instances, the
-// same generators the experiments use) through core.Run: every Parallelism
-// setting must match the sequential exhaustive Result exactly, including the
-// winning-branch plan.
+// same generators the experiments use) through core.Run: with NoPrune every
+// Parallelism setting must match the sequential exhaustive Result exactly,
+// including the winning-branch plan; under pruning (the default) the pinned
+// fields — emitted rows, ExecStats, Policy — must still match the unpruned
+// sequential reference at every worker count.
 func TestExhaustiveParallelismDeterminism(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
-		run := func(parallelism int) (*core.Result, []string, error) {
+		run := func(parallelism int, noPrune bool) (*core.Result, []string, error) {
 			rng := rand.New(rand.NewSource(seed))
 			d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
 			g := randomAcyclicGraph(rng, 3+rng.Intn(3))
@@ -65,15 +67,15 @@ func TestExhaustiveParallelismDeterminism(t *testing.T) {
 			var rows []string
 			r, err := core.Run(g, in, func(a tuple.Assignment) {
 				rows = append(rows, a.String())
-			}, core.Options{Strategy: core.StrategyExhaustive, Parallelism: parallelism})
+			}, core.Options{Strategy: core.StrategyExhaustive, Parallelism: parallelism, NoPrune: noPrune})
 			return r, rows, err
 		}
-		wantRes, wantRows, err := run(0)
+		wantRes, wantRows, err := run(0, true)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for _, n := range []int{1, 4, 8} {
-			gotRes, gotRows, err := run(n)
+			gotRes, gotRows, err := run(n, true)
 			if err != nil {
 				t.Fatalf("seed %d P=%d: %v", seed, n, err)
 			}
@@ -82,6 +84,22 @@ func TestExhaustiveParallelismDeterminism(t *testing.T) {
 			}
 			if !reflect.DeepEqual(gotRows, wantRows) {
 				t.Errorf("seed %d P=%d emitted rows differ (%d vs %d)", seed, n, len(gotRows), len(wantRows))
+			}
+		}
+		for _, n := range []int{0, 1, 4, 8} {
+			gotRes, gotRows, err := run(n, false)
+			if err != nil {
+				t.Fatalf("seed %d pruned P=%d: %v", seed, n, err)
+			}
+			if gotRes.Emitted != wantRes.Emitted || gotRes.ExecStats != wantRes.ExecStats {
+				t.Errorf("seed %d pruned P=%d: Emitted/ExecStats = %d/%+v, want %d/%+v",
+					seed, n, gotRes.Emitted, gotRes.ExecStats, wantRes.Emitted, wantRes.ExecStats)
+			}
+			if !reflect.DeepEqual(gotRes.Policy, wantRes.Policy) {
+				t.Errorf("seed %d pruned P=%d: Policy = %v, want %v", seed, n, gotRes.Policy, wantRes.Policy)
+			}
+			if !reflect.DeepEqual(gotRows, wantRows) {
+				t.Errorf("seed %d pruned P=%d emitted rows differ (%d vs %d)", seed, n, len(gotRows), len(wantRows))
 			}
 		}
 	}

@@ -66,6 +66,7 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 				{Strategy: core.StrategyFirst},
 				{Strategy: core.StrategySmallest},
 				{Strategy: core.StrategyExhaustive},
+				{Strategy: core.StrategyExhaustive, NoPrune: true},
 				{Strategy: core.StrategyExhaustive, Parallelism: 4},
 			} {
 				got, err := runSet(g, in, o)

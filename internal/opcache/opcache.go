@@ -36,6 +36,14 @@
 // real suspended run would (nothing) — but entries are only recorded from
 // non-suspended runs, since a suspended run observes an empty tape.
 //
+// Charge budgets: replayed charges go through the disk's normal charging
+// paths, so an armed charge budget (extmem.SetChargeBudget) advances toward
+// its watermark during replay exactly as it would during the real run, and a
+// replay that crosses it aborts mid-tape with extmem.ErrBudgetExceeded. The
+// abort leaves the memo untouched (the entry stays; only the caller's run
+// unwinds), and a recording cut short by a budget abort is discarded, never
+// stored.
+//
 // Bounded mode: Limits caps the entry count and the total retained snapshot
 // tuples; over budget, the least-recently-used entries are evicted. Eviction
 // only costs recomputation on a later miss — it can never change simulated
@@ -216,8 +224,19 @@ func (m *Memo) do(d *extmem.Disk, op Op, run func() ([]*extmem.File, []int64, er
 	m.mu.Unlock()
 
 	d.StartTape()
+	taping := true
+	defer func() {
+		if taping {
+			// run panicked — typically extmem.ErrBudgetExceeded unwinding a
+			// pruned dry run. Pop and discard the partial tape so the recorder
+			// stack stays balanced and nothing half-recorded is ever stored;
+			// the memo is left exactly as it was for the aborted suffix.
+			d.StopTape()
+		}
+	}()
 	outs, meta, err := run()
 	tape := d.StopTape()
+	taping = false
 	if err != nil || d.IsSuspended() {
 		return outs, meta, err
 	}

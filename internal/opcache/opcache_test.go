@@ -427,3 +427,93 @@ func TestMultiOutputAndMeta(t *testing.T) {
 		t.Fatalf("replayed meta diverges: %v vs %v", m1, m2)
 	}
 }
+
+// A memo replay must advance the disk's charge-budget watermark exactly like
+// a real run: a budget too small for the operator aborts mid-replay with the
+// total clamped at the watermark, the memo entry survives the abort, and a
+// later unbudgeted repeat still replays in full.
+func TestReplayRespectsChargeBudget(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	opcache.Enable(d)
+	f := fill(d, 2, rows(23))
+	d.ResetStats()
+
+	// Record the operator, measuring its true cost.
+	if _, _, err := doCopy(d, opcache.In(f)); err != nil {
+		t.Fatal(err)
+	}
+	cost := d.Stats().IOs()
+	if cost < 2 {
+		t.Fatalf("operator too cheap to test: %d IOs", cost)
+	}
+
+	// Budget the replay below the operator's cost: it must abort, landing
+	// exactly on the watermark.
+	before := d.Stats().IOs()
+	d.SetChargeBudget(before + cost - 1)
+	aborted, err := d.CatchBudgetExceeded(func() error {
+		_, _, e := doCopy(d, opcache.In(f))
+		return e
+	})
+	d.ClearChargeBudget()
+	if !aborted || err != nil {
+		t.Fatalf("aborted=%v err=%v, want clean mid-replay abort", aborted, err)
+	}
+	if got := d.Stats().IOs() - before; got != cost-1 {
+		t.Fatalf("aborted replay charged %d, want exactly %d (clamped)", got, cost-1)
+	}
+
+	// The memo entry is untouched: an unbudgeted repeat replays at full cost
+	// with identical output.
+	hitsBefore := opcache.Of(d).Stats().Hits
+	before = d.Stats().IOs()
+	outs, _, err := doCopy(d, opcache.In(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().IOs() - before; got != cost {
+		t.Fatalf("post-abort replay charged %d, want %d", got, cost)
+	}
+	if outs[0].Len() != 23 {
+		t.Fatalf("post-abort replay output len = %d, want 23", outs[0].Len())
+	}
+	if hits := opcache.Of(d).Stats().Hits; hits != hitsBefore+1 {
+		t.Fatalf("post-abort repeat was not a hit: %d -> %d", hitsBefore, hits)
+	}
+}
+
+// An abort during a RECORDING run (memo miss) must discard the truncated
+// tape: a later repeat re-runs the operator for real rather than replaying a
+// partial recording.
+func TestAbortedRecordingDiscarded(t *testing.T) {
+	d := extmem.NewDisk(extmem.Config{M: 16, B: 4})
+	opcache.Enable(d)
+	f := fill(d, 2, rows(23))
+	d.ResetStats()
+
+	d.SetChargeBudget(d.Stats().IOs() + 2)
+	aborted, err := d.CatchBudgetExceeded(func() error {
+		_, _, e := doCopy(d, opcache.In(f))
+		return e
+	})
+	d.ClearChargeBudget()
+	if !aborted || err != nil {
+		t.Fatalf("aborted=%v err=%v", aborted, err)
+	}
+	if misses := opcache.Of(d).Stats().Misses; misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+
+	// The repeat must be a miss again (nothing was stored) and complete.
+	outs, _, err := doCopy(d, opcache.In(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != 23 {
+		t.Fatalf("repeat output len = %d, want 23", outs[0].Len())
+	}
+	cs := opcache.Of(d).Stats()
+	if cs.Misses != 2 || cs.Hits != 0 {
+		t.Fatalf("stats after aborted recording = %+v, want second miss, no hits", cs)
+	}
+}

@@ -45,12 +45,25 @@ type Options struct {
 	// Parallelism bounds how many dry-run branches StrategyExhaustive may
 	// explore concurrently, each on a thread-confined child view of the
 	// simulated disk. 0 (the default) uses the sequential reference path;
-	// any N >= 1 uses a worker pool of N goroutines. The Result — counts,
-	// stats, branch count, winning plan, and the emitted rows and their
-	// order — is bit-identical at every setting; parallelism only changes
-	// wall-clock time. Other strategies explore a single branch and ignore
-	// this knob.
+	// any N >= 1 uses a worker pool of N goroutines. The fields the paper's
+	// guarantee is about — Count, Stats, the winning plan, and the emitted
+	// rows and their order — are bit-identical at every setting. With
+	// NoPrune set, the entire Result (PlanningStats and Prune included) is
+	// bit-identical too; under pruning those two depend on worker timing.
+	// Other strategies explore a single branch and ignore this knob.
 	Parallelism int
+	// NoPrune disables branch-and-bound pruning of the exhaustive strategy's
+	// dry-run branches. With pruning on (the default), a dry run is aborted
+	// as soon as its charged I/O reaches the best completed branch's cost —
+	// it can no longer win. Count, Stats (the winning branch's execution
+	// cost), and the winning plan are provably unchanged by pruning;
+	// PlanningStats then counts only the charges each pruned branch made
+	// before its abort. Set NoPrune to restore the paper's full "Σ branches
+	// + best" round-robin accounting in PlanningStats. (Composite line plans
+	// routed through the Section 6 dispatcher run nested exhaustive searches
+	// whose planning charges fold into Stats; NoPrune restores the unpruned
+	// accounting there too.)
+	NoPrune bool
 	// Memo controls the charge-replay operator memo: deterministic
 	// operators (sorts, semijoins, projections, heavy/light splits,
 	// materialized pairwise joins) repeated on identical input windows with
@@ -130,14 +143,30 @@ type Result struct {
 	Stats Stats
 	// PlanningStats additionally includes the dry-run branches explored
 	// under StrategyExhaustive (the paper's round-robin simulation cost).
-	// Paths that explore no dry-run branches — the line-join dispatcher,
-	// StrategyFirst, StrategySmallest — report PlanningStats == Stats.
+	// With branch-and-bound pruning on (the default), pruned branches
+	// contribute only the charges made before their abort; set
+	// Options.NoPrune for the full Σ-branches accounting. Paths that explore
+	// no dry-run branches — the line-join dispatcher, StrategyFirst,
+	// StrategySmallest — report PlanningStats == Stats.
 	PlanningStats Stats
 	// Branches is how many peeling policies were explored.
 	Branches int
 	// Plan describes the algorithm used ("acyclic-join (Algorithm 2)",
 	// "line-5 unbalanced (Algorithm 4)", ...).
 	Plan string
+	// Prune reports branch-and-bound telemetry for the exhaustive planner:
+	// dry-run branches started, pruned at the incumbent bound, completed,
+	// and the I/Os the pruned branches charged before aborting. Zero when
+	// Options.NoPrune is set (Pruned only), for single-branch strategies,
+	// and for line queries routed through the Section 6 dispatcher (whose
+	// nested searches are not surfaced here). Under Parallelism >= 1 the
+	// split varies run to run with worker timing.
+	Prune PruneStats
+	// ClampedChoices counts defensive chooser clamps in the exhaustive
+	// planner — a recorded decision meeting a subquery with fewer peelable
+	// leaves than when it was made. Structurally unreachable; surfaced so
+	// the test suite can assert it stays zero.
+	ClampedChoices int64
 	// Memo reports operator-memo effectiveness. The counters are host-side
 	// diagnostics: they never feed into the simulated Stats, and under
 	// Parallelism > 1 the hit/miss split can vary run to run (two branches
@@ -152,6 +181,9 @@ type Result struct {
 
 // MemoStats counts memo hits, misses, evictions, and bytes served by replay.
 type MemoStats = opcache.Stats
+
+// PruneStats is the branch-and-bound telemetry of the exhaustive planner.
+type PruneStats = core.PruneStats
 
 // SortCacheStats is the former name of MemoStats.
 //
@@ -223,6 +255,7 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		Strategy:      opts.Strategy,
 		AssumeReduced: !opts.SkipReduce,
 		Parallelism:   opts.Parallelism,
+		NoPrune:       opts.NoPrune,
 		Memo:          opts.Memo,
 		MemoLimits:    memoLimits,
 		SortCache:     opts.SortCache,
@@ -245,6 +278,8 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		}
 		res.Plan = "acyclic-join (Algorithm 2), strategy " + opts.Strategy.String()
 		res.Branches = r.Branches
+		res.Prune = r.Prune
+		res.ClampedChoices = r.ClampedChoices
 		// Execution stats: reduction + winning branch. Planning adds the
 		// dry runs.
 		exec := r.ExecStats
