@@ -1,57 +1,93 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E25, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E26, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-opcache=false] [-prune=false] [-benchjson BENCH_opcache.json]
-//	          [-prunejson BENCH_prune.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-opcache=false] [-prune=false] [-timeout 10m] [-benchjson BENCH_opcache.json]
+//	          [-prunejson BENCH_prune.json] [-chaosjson BENCH_chaos.json]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"acyclicjoin/internal/harness"
 )
 
+// config carries every joinbench flag; kept as a struct so run stays
+// callable from tests without a dozen positional parameters.
+type config struct {
+	exp                             string
+	m, b, scale                     int
+	seed                            int64
+	list                            bool
+	verify, par                     int
+	opcache, sortcache, prune       bool
+	benchjson, prunejson, chaosjson string
+	cpuprof, memprof                string
+}
+
 func main() {
-	var (
-		exp       = flag.String("exp", "", "run a single experiment (e.g. E4); empty runs all")
-		m         = flag.Int("m", 256, "memory size M in tuples")
-		b         = flag.Int("b", 16, "block size B in tuples")
-		scale     = flag.Int("scale", 1, "input size multiplier")
-		seed      = flag.Int64("seed", 42, "random seed for generated workloads")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		verify    = flag.Int("verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
-		par       = flag.Int("parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
-		opcache   = flag.Bool("opcache", true, "use the charge-replay operator memo (tables are byte-identical either way; off forces every operator to run for real)")
-		sortcache = flag.Bool("sortcache", true, "deprecated synonym for -opcache (the memo now covers all deterministic operators); either flag set to false disables it")
-		prune     = flag.Bool("prune", true, "branch-and-bound pruning of exhaustive dry runs (tables are byte-identical either way; off restores the paper's full Σ-branches accounting in the experiments that honor it)")
-		benchjson = flag.String("benchjson", "", "write the machine-readable operator-memo benchmark (wall-clock, I/O, hit rate, evictions) to this file and exit")
-		prunejson = flag.String("prunejson", "", "write the machine-readable pruning benchmark (wall-clock, planning I/Os saved, branches pruned) to this file and exit")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
+	var c config
+	flag.StringVar(&c.exp, "exp", "", "run a single experiment (e.g. E4); empty runs all")
+	flag.IntVar(&c.m, "m", 256, "memory size M in tuples")
+	flag.IntVar(&c.b, "b", 16, "block size B in tuples")
+	flag.IntVar(&c.scale, "scale", 1, "input size multiplier")
+	flag.Int64Var(&c.seed, "seed", 42, "random seed for generated workloads")
+	flag.BoolVar(&c.list, "list", false, "list experiments and exit")
+	flag.IntVar(&c.verify, "verify", 0, "run a randomized correctness sweep with this many trials per configuration and exit")
+	flag.IntVar(&c.par, "parallel", 1, "run up to this many experiments concurrently (tables are identical at any setting)")
+	flag.BoolVar(&c.opcache, "opcache", true, "use the charge-replay operator memo (tables are byte-identical either way; off forces every operator to run for real)")
+	flag.BoolVar(&c.sortcache, "sortcache", true, "deprecated synonym for -opcache (the memo now covers all deterministic operators); either flag set to false disables it")
+	flag.BoolVar(&c.prune, "prune", true, "branch-and-bound pruning of exhaustive dry runs (tables are byte-identical either way; off restores the paper's full Σ-branches accounting in the experiments that honor it)")
+	flag.StringVar(&c.benchjson, "benchjson", "", "write the machine-readable operator-memo benchmark (wall-clock, I/O, hit rate, evictions) to this file and exit")
+	flag.StringVar(&c.prunejson, "prunejson", "", "write the machine-readable pruning benchmark (wall-clock, planning I/Os saved, branches pruned) to this file and exit")
+	flag.StringVar(&c.chaosjson, "chaosjson", "", "write the machine-readable chaos benchmark (fault rates x worker counts, bit-identity, retry telemetry) to this file and exit")
+	flag.StringVar(&c.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.memprof, "memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = no limit); completed tables are still printed")
 	flag.Parse()
-	os.Exit(run(*exp, *m, *b, *scale, *seed, *list, *verify, *par,
-		*opcache, *sortcache, *prune, *benchjson, *prunejson, *cpuprof, *memprof))
+
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	if *timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeoutCause(ctx, *timeout, errors.New("joinbench: timeout elapsed"))
+		defer cancelT()
+	}
+	// Two-stage SIGINT: the first interrupt cancels the context (experiments
+	// not yet started are skipped and the completed tables print), a second
+	// force-exits.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "interrupt: cancelling sweep (interrupt again to force exit)")
+		cancelCause(errors.New("joinbench: interrupted"))
+		<-sig
+		fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+		os.Exit(130)
+	}()
+	os.Exit(run(ctx, c))
 }
 
 // run holds the real main so profile writers run before os.Exit. The
 // -opcache/-sortcache pair maps one-to-one onto the harness fields, which
 // resolve the deprecated alias exactly like core.Options: the memo is off
 // when either flag is off.
-func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
-	opcache, sortcache, prune bool, benchjson, prunejson, cpuprof, memprof string) int {
-	if cpuprof != "" {
-		f, err := os.Create(cpuprof)
+func run(ctx context.Context, c config) int {
+	if c.cpuprof != "" {
+		f, err := os.Create(c.cpuprof)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			return 1
@@ -63,9 +99,9 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if memprof != "" {
+	if c.memprof != "" {
 		defer func() {
-			f, err := os.Create(memprof)
+			f, err := os.Create(c.memprof)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 				return
@@ -78,30 +114,23 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		}()
 	}
 
-	if list {
+	if c.list {
 		for _, e := range harness.All() {
 			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Artifact, e.Title)
 		}
 		return 0
 	}
 
-	p := harness.Params{M: m, B: b, Scale: scale, Seed: seed,
-		NoMemo: !opcache, NoSortCache: !sortcache, NoPrune: !prune}
+	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
+		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune}
 
-	if prunejson != "" {
+	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
 			return 1
 		}
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
-			return 1
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(prunejson, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "prune bench: %v\n", err)
+		if writeJSON(c.prunejson, res, "prune bench") != nil {
 			return 1
 		}
 		for _, w := range res.Workloads {
@@ -113,20 +142,13 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		return 0
 	}
 
-	if benchjson != "" {
+	if c.benchjson != "" {
 		res, err := harness.OpMemoBench(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
 			return 1
 		}
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
-			return 1
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(benchjson, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "op-memo bench: %v\n", err)
+		if writeJSON(c.benchjson, res, "op-memo bench") != nil {
 			return 1
 		}
 		for _, w := range res.Workloads {
@@ -137,8 +159,25 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		return 0
 	}
 
-	if verify > 0 {
-		tab, err := harness.VerifySweep(p, verify)
+	if c.chaosjson != "" {
+		res, err := harness.ChaosBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos bench: %v\n", err)
+			return 1
+		}
+		if writeJSON(c.chaosjson, res, "chaos bench") != nil {
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s rate=%.2f workers=%d rows=%d execIOs=%d identical=%v transient=%d boundary retries=%d retry IOs=%d backoff IOs=%d\n",
+				w.Name, w.Rate, w.Workers, w.Rows, w.ExecIOs, w.Identical,
+				w.Transient, w.BoundaryRetries, w.RetryIOs, w.BackoffIOs)
+		}
+		return 0
+	}
+
+	if c.verify > 0 {
+		tab, err := harness.VerifySweep(p, c.verify)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verification FAILED: %v\n", err)
 			return 1
@@ -147,27 +186,45 @@ func run(exp string, m, b, scale int, seed int64, list bool, verify, par int,
 		return 0
 	}
 	exps := harness.All()
-	if exp != "" {
-		e := harness.Get(exp)
+	if c.exp != "" {
+		e := harness.Get(c.exp)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", c.exp)
 			return 2
 		}
 		exps = []*harness.Experiment{e}
 	} else {
 		fmt.Printf("machine: M=%d tuples, B=%d tuples/block, scale=%d, seed=%d, parallel=%d\n",
-			p.M, p.B, p.Scale, p.Seed, par)
+			p.M, p.B, p.Scale, p.Seed, c.par)
 	}
-	// Experiments are independent; RunAll executes up to -parallel of them
-	// concurrently and hands back outcomes in registry order, so the printed
-	// report is byte-identical to a sequential sweep.
-	for _, o := range harness.RunAll(exps, p, par) {
+	// Experiments are independent; RunAllCtx executes up to -parallel of
+	// them concurrently and hands back outcomes in registry order, so the
+	// printed report is byte-identical to a sequential sweep. Cancellation
+	// (timeout or SIGINT) skips experiments that have not started yet;
+	// completed tables still print below before the non-zero exit.
+	code := 0
+	for _, o := range harness.RunAllCtx(ctx, exps, p, c.par) {
 		fmt.Printf("\n[%s] %s\n(paper artifact: %s)\n\n", o.Exp.ID, o.Exp.Title, o.Exp.Artifact)
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Exp.ID, o.Err)
-			return 1
+			code = 1
+			continue
 		}
 		fmt.Print(o.Table.Render())
 	}
-	return 0
+	return code
+}
+
+func writeJSON(path string, v any, what string) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		return err
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"testing"
@@ -17,7 +18,10 @@ func captureRun(t *testing.T, exp string, opcache, sortcache, prune bool) string
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	code := run(exp, 64, 8, 1, 42, false, 0, 1, opcache, sortcache, prune, "", "", "", "")
+	code := run(context.Background(), config{
+		exp: exp, m: 64, b: 8, scale: 1, seed: 42, par: 1,
+		opcache: opcache, sortcache: sortcache, prune: prune,
+	})
 	w.Close()
 	os.Stdout = old
 	var buf bytes.Buffer

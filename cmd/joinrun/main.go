@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"acyclicjoin"
 	"acyclicjoin/internal/cli"
@@ -21,14 +25,17 @@ import (
 
 func main() {
 	var (
-		m       = flag.Int("m", 4096, "memory size M in tuples")
-		b       = flag.Int("b", 256, "block size B in tuples")
-		countIt = flag.Bool("count", false, "print only the result count")
-		header  = flag.Bool("header", false, "CSV files have a header row to skip")
-		limit   = flag.Int("limit", 20, "max rows to print (0 = unlimited)")
-		strat   = flag.String("strategy", "exhaustive", "peeling strategy: exhaustive|first|smallest")
-		par     = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results and the winning plan are identical at any setting)")
-		prune   = flag.Bool("prune", true, "abort dry-run branches once they exceed the best completed branch's cost; results and plan are unaffected, but the planning I/O read/write split can shift (pass -prune=false to pin the I/O line across -parallel settings)")
+		m         = flag.Int("m", 4096, "memory size M in tuples")
+		b         = flag.Int("b", 256, "block size B in tuples")
+		countIt   = flag.Bool("count", false, "print only the result count")
+		header    = flag.Bool("header", false, "CSV files have a header row to skip")
+		limit     = flag.Int("limit", 20, "max rows to print (0 = unlimited)")
+		strat     = flag.String("strategy", "exhaustive", "peeling strategy: exhaustive|first|smallest")
+		par       = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results and the winning plan are identical at any setting)")
+		prune     = flag.Bool("prune", true, "abort dry-run branches once they exceed the best completed branch's cost; results and plan are unaffected, but the planning I/O read/write split can shift (pass -prune=false to pin the I/O line across -parallel settings)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); the partial telemetry gathered so far is printed")
+		faultRate = flag.Float64("faultrate", 0, "inject transient I/O faults at this per-I/O probability (deterministic per -faultseed); retries keep results and I/O figures bit-identical, retry cost is reported separately")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the injected fault schedule")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -65,6 +72,9 @@ func main() {
 	}
 
 	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par, NoPrune: !*prune}
+	if *faultRate > 0 {
+		opts.Faults = &acyclicjoin.FaultPlan{Seed: *faultSeed, TransientRate: *faultRate}
+	}
 	switch *strat {
 	case "exhaustive":
 		opts.Strategy = acyclicjoin.StrategyExhaustive
@@ -89,8 +99,23 @@ func main() {
 		fmt.Println(strings.Join(parts, " "))
 		printed++
 	}
-	res, err := acyclicjoin.Run(q, inst, opts, emit)
+	ctx, cancel := newSignalContext(*timeout)
+	defer cancel()
+	res, err := acyclicjoin.RunContext(ctx, q, inst, opts, emit)
 	if err != nil {
+		// An aborted run still hands back partial telemetry; surface it
+		// before exiting so an interrupted long run is not a total loss.
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "aborted: %v\npartial: results=%d, I/O reads=%d writes=%d total=%d\n",
+				err, res.Count, res.Stats.Reads, res.Stats.Writes, res.Stats.IOs)
+			if res.Faults.Any() {
+				fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)
+			}
+			if errors.Is(err, acyclicjoin.ErrCancelled) {
+				os.Exit(130)
+			}
+			os.Exit(1)
+		}
 		fatal("%v", err)
 	}
 	if !*countIt && *limit > 0 && res.Count > int64(printed) {
@@ -98,6 +123,34 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "results: %d\nplan: %s\nI/O: reads=%d writes=%d total=%d (M=%d B=%d, mem hi-water %d tuples)\n",
 		res.Count, res.Plan, res.Stats.Reads, res.Stats.Writes, res.Stats.IOs, *m, *b, res.Stats.MemHiWater)
+	if res.Faults.Any() {
+		fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)
+	}
+}
+
+// newSignalContext builds the run's context: an optional deadline, plus
+// two-stage SIGINT handling — the first interrupt cancels the context (the
+// engine unwinds and partial telemetry is printed), a second force-exits.
+func newSignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	done := context.CancelFunc(func() { cancelCause(nil) })
+	if timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeoutCause(ctx, timeout, errors.New("joinrun: timeout elapsed"))
+		prev := done
+		done = func() { cancelT(); prev() }
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "interrupt: cancelling run (interrupt again to force exit)")
+		cancelCause(errors.New("joinrun: interrupted"))
+		<-sig
+		fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+		os.Exit(130)
+	}()
+	return ctx, done
 }
 
 func loadCSV(inst *acyclicjoin.Instance, rel, file string, arity int, header bool) error {

@@ -210,6 +210,12 @@ type PruneStats struct {
 }
 
 // Run evaluates the Berge-acyclic join (g, in), invoking emit per result.
+//
+// Permanent faults and cancellation surface here as typed errors: the whole
+// strategy dispatch runs under CatchAbort, so an abort that escapes every
+// operator boundary unwinds the disk (phases, recorders, peak watches,
+// budget watermark) and returns the *FaultError / ErrCancelled cause instead
+// of panicking through the caller.
 func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*Result, error) {
 	if !g.IsBergeAcyclic() {
 		return nil, fmt.Errorf("core: query %v is not Berge-acyclic", g)
@@ -220,7 +226,30 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 	disk := anyDisk(g, in)
 	applyMemo(disk, opts)
 	res := &Result{Policy: map[string]int{}}
+	if disk == nil {
+		return runStrategy(g, in, emit, opts, disk, res)
+	}
+	var out *Result
+	pruned, err := disk.CatchAbort(func() error {
+		var e error
+		out, e = runStrategy(g, in, emit, opts, disk, res)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pruned {
+		// A budget panic can only reach here if a caller armed a watermark
+		// and skipped its own catch; the per-branch catches below never let
+		// one escape.
+		return nil, fmt.Errorf("core: charge budget leaked into the run: %w", extmem.ErrBudgetExceeded)
+	}
+	return out, nil
+}
 
+// runStrategy is Run's strategy dispatch, separated so Run can wrap it in a
+// single CatchAbort.
+func runStrategy(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
 	if opts.Strategy != StrategyExhaustive {
 		ex := &executor{
 			emit:    emit,
@@ -230,12 +259,14 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 		}
 		before := disk.Stats()
 		stopPeak := disk.StartMemPeak()
-		if err := ex.run(g, in); err != nil {
+		err := ex.run(g, in)
+		peak := stopPeak()
+		if err != nil {
 			return nil, err
 		}
 		res.Emitted = ex.emitted
 		res.ExecStats = disk.Stats().Sub(before)
-		res.ExecStats.MemHiWater = stopPeak()
+		res.ExecStats.MemHiWater = peak
 		res.TotalStats = res.ExecStats
 		res.Branches = 1
 		return res, nil
@@ -280,9 +311,14 @@ func runExhaustiveSeq(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 		var pruned bool
 		var err error
 		if !opts.NoPrune && best != nil {
-			disk.SetChargeBudget(before.IOs() + best.cost)
-			pruned, err = disk.CatchBudgetExceeded(func() error { return ex.run(g, in) })
-			disk.ClearChargeBudget()
+			pruned, err = func() (bool, error) {
+				// Disarm on every exit, including a foreign panic unwinding
+				// through CatchBudgetExceeded — a leaked watermark would
+				// poison the next branch (and the wet re-run).
+				defer disk.ClearChargeBudget()
+				disk.SetChargeBudget(before.IOs() + best.cost)
+				return disk.CatchBudgetExceeded(func() error { return ex.run(g, in) })
+			}()
 		} else {
 			err = ex.run(g, in)
 		}
@@ -343,11 +379,13 @@ func finishExhaustive(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 	}
 	before := disk.Stats()
 	stopPeak := disk.StartMemPeak()
-	if err := ex.run(g, in); err != nil {
+	err := ex.run(g, in)
+	peak := stopPeak()
+	if err != nil {
 		return nil, err
 	}
 	res.ExecStats = disk.Stats().Sub(before)
-	res.ExecStats.MemHiWater = stopPeak()
+	res.ExecStats.MemHiWater = peak
 	res.TotalStats = grand.Add(res.ExecStats)
 	res.Emitted = ex.emitted
 	res.Policy = fixed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"acyclicjoin/internal/cover"
+	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/hypergraph"
 	"acyclicjoin/internal/relation"
 )
@@ -139,7 +140,8 @@ func RunLine(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options)
 	if !ok {
 		return nil, fmt.Errorf("core: %v is not a line join", g)
 	}
-	applyMemo(anyDisk(g, in), opts)
+	disk := anyDisk(g, in)
+	applyMemo(disk, opts)
 	sizes := make([]float64, len(order))
 	for i, e := range order {
 		sizes[i] = float64(in[e.ID].Len())
@@ -153,8 +155,23 @@ func RunLine(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options)
 	if err != nil {
 		return nil, err
 	}
-	if err := runLinePlan(plan, g, order, in, emit, opts); err != nil {
+	if disk == nil {
+		if err := runLinePlan(plan, g, order, in, emit, opts); err != nil {
+			return nil, err
+		}
+		return plan, nil
+	}
+	// The specialized line plans run outside Run's CatchAbort, so give them
+	// their own: permanent faults and cancellation unwind the disk here and
+	// surface as typed errors instead of panics.
+	pruned, err := disk.CatchAbort(func() error {
+		return runLinePlan(plan, g, order, in, emit, opts)
+	})
+	if err != nil {
 		return nil, err
+	}
+	if pruned {
+		return nil, fmt.Errorf("core: charge budget leaked into the line run: %w", extmem.ErrBudgetExceeded)
 	}
 	return plan, nil
 }

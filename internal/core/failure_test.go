@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
+	"acyclicjoin/internal/workload"
+)
+
+// assertNoLeaks panics (failing the test loudly wherever it is called from)
+// if the run left child disks in the registry or grew the goroutine count.
+// Goroutines are given a grace window to drain: runWave joins its workers
+// before returning, but the runtime may briefly keep exited goroutines
+// visible to NumGoroutine.
+func assertNoLeaks(d *extmem.Disk, goroutinesBefore int, ctx string) {
+	if n := d.LiveChildren(); n != 0 {
+		panic(fmt.Sprintf("leak check (%s): %d child disks alive after run", ctx, n))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("leak check (%s): %d goroutines alive, started with %d",
+				ctx, runtime.NumGoroutine(), goroutinesBefore))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// failureBuilder is a workload with several branches and enough I/O for
+// mid-run fault triggers to land inside execution.
+func failureBuilder(seed int64) builder {
+	return func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+		rng := rand.New(rand.NewSource(seed))
+		return workload.LineUniform(d, rng, 4, 80, 8)
+	}
+}
+
+// TestTransientFaultsBitIdentical is the chaos contract at the core layer:
+// with every fault transient-and-retried, the Result, the emitted rows and
+// their order, and the final disk stats are bit-identical to the fault-free
+// run — at several fault rates and worker counts.
+func TestTransientFaultsBitIdentical(t *testing.T) {
+	build := failureBuilder(21)
+	wantRes, wantRows, wantDisk, err := engineRunOpts(build,
+		Options{Strategy: StrategyExhaustive, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.01, 0.05, 0.2} {
+		for _, par := range []int{0, 2, 4} {
+			plan := &extmem.FaultPlan{Seed: 7, TransientRate: rate, MaxAttempts: 100000}
+			gotRes, gotRows, gotDisk, err := engineRunFaults(build,
+				Options{Strategy: StrategyExhaustive, Parallelism: par, NoPrune: true}, plan)
+			if err != nil {
+				t.Fatalf("rate=%v P=%d: %v", rate, par, err)
+			}
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Errorf("rate=%v P=%d: Result = %+v, want %+v", rate, par, gotRes, wantRes)
+			}
+			if !reflect.DeepEqual(gotRows, wantRows) {
+				t.Errorf("rate=%v P=%d: emitted rows differ", rate, par)
+			}
+			if gotDisk != wantDisk {
+				t.Errorf("rate=%v P=%d: disk stats = %+v, want %+v", rate, par, gotDisk, wantDisk)
+			}
+		}
+	}
+}
+
+// Transient faults under pruning must preserve the pruning-pinned fields:
+// emitted rows, execution stats, winning policy.
+func TestTransientFaultsPrunedPinnedFields(t *testing.T) {
+	build := failureBuilder(22)
+	wantRes, wantRows, _, err := engineRunOpts(build, Options{Strategy: StrategyExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &extmem.FaultPlan{Seed: 3, TransientRate: 0.1, MaxAttempts: 100000}
+	gotRes, gotRows, _, err := engineRunFaults(build, Options{Strategy: StrategyExhaustive}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Emitted != wantRes.Emitted || gotRes.ExecStats != wantRes.ExecStats ||
+		!reflect.DeepEqual(gotRes.Policy, wantRes.Policy) {
+		t.Errorf("pinned fields differ: got %+v, want %+v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotRows, wantRows) {
+		t.Errorf("emitted rows differ under faults")
+	}
+}
+
+// A permanent fault aborts the run with a typed *extmem.FaultError at every
+// worker count, with no leaked children (checked inside engineRunFaults).
+func TestPermanentFaultTypedError(t *testing.T) {
+	build := failureBuilder(23)
+	for _, par := range []int{0, 1, 4} {
+		plan := &extmem.FaultPlan{PermanentAt: 40}
+		_, _, _, err := engineRunFaults(build,
+			Options{Strategy: StrategyExhaustive, Parallelism: par}, plan)
+		var fe *extmem.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("P=%d: err = %v, want *extmem.FaultError", par, err)
+		}
+		if fe.Kind != extmem.FaultPermanent {
+			t.Errorf("P=%d: fault kind = %v, want permanent", par, fe.Kind)
+		}
+	}
+}
+
+// Cancellation mid-branch unwinds sequential and parallel exploration with
+// an error wrapping ErrCancelled and zero leaked children/goroutines.
+func TestCancelMidBranchUnwinds(t *testing.T) {
+	build := failureBuilder(24)
+	for _, par := range []int{0, 1, 4} {
+		plan := &extmem.FaultPlan{CancelAt: 60}
+		_, _, _, err := engineRunFaults(build,
+			Options{Strategy: StrategyExhaustive, Parallelism: par}, plan)
+		if !errors.Is(err, extmem.ErrCancelled) {
+			t.Fatalf("P=%d: err = %v, want ErrCancelled", par, err)
+		}
+	}
+}
+
+// Faults on the single-branch strategies and the line dispatcher also
+// surface as typed errors, not panics.
+func TestFaultOnNonExhaustivePaths(t *testing.T) {
+	build := failureBuilder(25)
+	for _, s := range []Strategy{StrategyFirst, StrategySmallest} {
+		plan := &extmem.FaultPlan{PermanentAt: 30}
+		_, _, _, err := engineRunFaults(build, Options{Strategy: s}, plan)
+		var fe *extmem.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("strategy %v: err = %v, want *extmem.FaultError", s, err)
+		}
+	}
+
+	d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+	rng := rand.New(rand.NewSource(26))
+	g, in := workload.LineUniform(d, rng, 3, 80, 8)
+	d.SetFaultPlan(&extmem.FaultPlan{PermanentAt: 30})
+	_, err := RunLine(g, in, func(tuple.Assignment) {}, Options{})
+	var fe *extmem.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("RunLine: err = %v, want *extmem.FaultError", err)
+	}
+	if n := d.LiveChildren(); n != 0 {
+		t.Errorf("RunLine leaked %d child disks", n)
+	}
+}
+
+// A disk that survived an abort is clean: disarming the plan and re-running
+// on the same disk reproduces the fault-free result, proving no budget
+// watermark, phase, recorder, or peak-watch state leaked out of the abort.
+func TestDiskReusableAfterAbort(t *testing.T) {
+	for _, plan := range []*extmem.FaultPlan{
+		{PermanentAt: 50},
+		{CancelAt: 50},
+	} {
+		d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+		rng := rand.New(rand.NewSource(27))
+		g, in := workload.LineUniform(d, rng, 3, 70, 7)
+
+		ref := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+		rngRef := rand.New(rand.NewSource(27))
+		gRef, inRef := workload.LineUniform(ref, rngRef, 3, 70, 7)
+		wantRes, err := Run(gRef, inRef, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d.SetFaultPlan(plan)
+		if _, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive}); err == nil {
+			t.Fatalf("plan %+v: expected an abort error", plan)
+		}
+		d.SetFaultPlan(nil)
+		base := d.Stats()
+		gotRes, err := Run(g, in, func(tuple.Assignment) {}, Options{Strategy: StrategyExhaustive})
+		if err != nil {
+			t.Fatalf("plan %+v: rerun after abort: %v", plan, err)
+		}
+		if gotRes.Emitted != wantRes.Emitted || gotRes.ExecStats != wantRes.ExecStats {
+			t.Errorf("plan %+v: rerun result %+v, want %+v", plan, gotRes, wantRes)
+		}
+		if got := d.Stats().Sub(base); got.IOs() != wantRes.TotalStats.IOs() {
+			t.Errorf("plan %+v: rerun charged %d I/Os, fault-free run charges %d",
+				plan, got.IOs(), wantRes.TotalStats.IOs())
+		}
+	}
+}

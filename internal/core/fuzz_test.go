@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -71,6 +72,90 @@ func FuzzPruneOracle(f *testing.F) {
 		}
 		if ref.Prune.Pruned != 0 {
 			t.Fatalf("NoPrune arm pruned %d branches", ref.Prune.Pruned)
+		}
+	})
+}
+
+// FuzzFaultOracle is the differential oracle for the failure model: a
+// fuzz-chosen acyclic query, instance, worker count, and memo mode run
+// under a fuzz-chosen transient fault schedule must either reproduce the
+// fault-free run's pinned fields exactly (rows in emission order,
+// ExecStats, Policy — every transient retried to bit-identity) or, when
+// the retry cap ends the run early, fail with a typed *FaultError. A
+// fuzz-chosen permanent fault must always fail typed. Child-disk and
+// goroutine leak checks run inside engineRunFaults on every arm.
+func FuzzFaultOracle(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(20), uint8(1), uint8(0), uint8(10), uint8(0), uint8(60))
+	f.Add(uint8(1), uint8(2), uint8(25), uint8(2), uint8(4), uint8(40), uint8(1), uint8(0))
+	f.Add(uint8(2), uint8(1), uint8(12), uint8(0), uint8(2), uint8(120), uint8(0), uint8(33))
+	f.Add(uint8(3), uint8(0), uint8(30), uint8(1), uint8(8), uint8(200), uint8(1), uint8(90))
+	f.Fuzz(func(t *testing.T, shape, size, rows, dom, par, rate, memoOff, permAt uint8) {
+		var g *hypergraph.Graph
+		switch shape % 4 {
+		case 0:
+			g = hypergraph.Line(2 + int(size)%4)
+		case 1:
+			g = hypergraph.StarQuery(2 + int(size)%3)
+		case 2:
+			g = hypergraph.Lollipop(2 + int(size)%2)
+		case 3:
+			g = hypergraph.Dumbbell(2, 4+int(size)%2)
+		}
+		build := func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(int64(shape)<<24 | int64(size)<<16 | int64(rows)<<8 | int64(dom)))
+			return g, randCoreInstance(d, rng, g, 5+int(rows)%28, 2+int(dom)%3)
+		}
+		opts := Options{Strategy: StrategyExhaustive, Parallelism: int(par) % 5}
+		if memoOff%2 == 1 {
+			opts.Memo = MemoOff
+		}
+		ref, refRows, _, refErr := engineRunOpts(build, opts)
+		if refErr != nil {
+			t.Skipf("fault-free run failed: %v", refErr)
+		}
+
+		// Transient arm: bit-identical or a typed escalation.
+		plan := &extmem.FaultPlan{
+			Seed:          int64(rate) + 1,
+			TransientRate: float64(rate%100) / 200, // 0 .. 0.495
+			MaxAttempts:   64,
+		}
+		fr, frRows, _, frErr := engineRunFaults(build, opts, plan)
+		if frErr != nil {
+			var fe *extmem.FaultError
+			if !errors.As(frErr, &fe) {
+				t.Fatalf("transient arm failed untyped: %v", frErr)
+			}
+		} else {
+			if !reflect.DeepEqual(frRows, refRows) {
+				t.Fatalf("transient arm rows diverge: %d vs %d", len(frRows), len(refRows))
+			}
+			if fr.Emitted != ref.Emitted || fr.ExecStats != ref.ExecStats {
+				t.Fatalf("transient arm exec diverges: emitted %d/%d stats %+v/%+v",
+					fr.Emitted, ref.Emitted, fr.ExecStats, ref.ExecStats)
+			}
+			if !reflect.DeepEqual(fr.Policy, ref.Policy) {
+				t.Fatalf("transient arm policy diverges: %v vs %v", fr.Policy, ref.Policy)
+			}
+		}
+
+		// Permanent arm: a fault the schedule guarantees to hit must always
+		// return a typed error (permAt 0 disables the trigger; skip).
+		if permAt > 0 {
+			pplan := &extmem.FaultPlan{PermanentAt: int64(permAt)}
+			_, _, _, perr := engineRunFaults(build, opts, pplan)
+			var fe *extmem.FaultError
+			if perr == nil {
+				// Legitimate when the whole run charges fewer I/Os than the
+				// trigger index.
+				return
+			}
+			if !errors.As(perr, &fe) {
+				t.Fatalf("permanent arm failed untyped: %v", perr)
+			}
+			if fe.Kind != extmem.FaultPermanent {
+				t.Fatalf("permanent arm returned kind %v", fe.Kind)
+			}
 		}
 	})
 }

@@ -140,16 +140,26 @@ func (b *branch) dryRun(g *hypergraph.Graph, in relation.Instance, opts Options,
 		chooser: b.trail.choose,
 		dry:     true,
 	}
-	if ps == nil {
-		b.err = ex.run(g, in.Rebind(b.child))
-	} else {
+	if ps != nil {
 		ps.register(b)
-		b.pruned, b.err = b.child.CatchBudgetExceeded(func() error {
-			return ex.run(g, in.Rebind(b.child))
-		})
-		ps.complete(b, b.child.Stats().IOs(), b.pruned || b.err != nil)
 	}
-	b.stats = b.child.Stats()
+	defer func() {
+		if r := recover(); r != nil {
+			b.err = fmt.Errorf("core: panic in dry-run branch: %v", r)
+		}
+		b.stats = b.child.Stats()
+		if ps != nil {
+			ps.complete(b, b.stats.IOs(), b.pruned || b.err != nil)
+		}
+	}()
+	// CatchAbort on both paths: budget aborts prune the branch, while
+	// permanent faults and cancellation become typed errors on b.err — a
+	// panic escaping into runWave's worker goroutine would kill the process.
+	// It also disarms the child's charge budget on every abort, so a pruned
+	// child never carries a stale watermark into Absorb.
+	b.pruned, b.err = b.child.CatchAbort(func() error {
+		return ex.run(g, in.Rebind(b.child))
+	})
 }
 
 // pruneState shares the branch-and-bound incumbent across workers. The
@@ -299,9 +309,16 @@ func runExhaustiveParallel(g *hypergraph.Graph, in relation.Instance, emit Emit,
 	for i, b := range all {
 		if b.err != nil {
 			// Match the sequential disk state: branches before (and the
-			// partial charges of) the failing one are already absorbed.
+			// partial charges of) the failing one are already absorbed. The
+			// rest ran too (waves are barriers) but their charges die with
+			// them — Discard retires each child so the registry shows no
+			// leaked disks after an aborted run.
 			for _, p := range all[:i+1] {
 				disk.Absorb(p.child)
+			}
+			for _, p := range all[i+1:] {
+				p.child.Discard()
+				p.child = nil
 			}
 			return nil, b.err
 		}

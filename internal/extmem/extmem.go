@@ -139,7 +139,25 @@ type Disk struct {
 	// scheduler may tighten another goroutine's budget mid-run (see
 	// TightenChargeBudget), and tightening is monotone, so a charge racing a
 	// store only ever reads a too-lenient limit — never an unsound one.
+	// (Cancel is the second cross-goroutine entry point; see cancelErr.)
 	budget atomic.Int64
+	// faults is the armed fault injector, nil when no FaultPlan is set (see
+	// fault.go). Children derive fresh injectors from the same plan.
+	faults *faultInjector
+	// opBoundary counts the OperatorBoundary scopes currently open: inside
+	// one, transient faults panic for the boundary to catch and retry;
+	// outside, the device clears them inline.
+	opBoundary int
+	// cancelErr is the tree-wide cancellation mark, shared by the root disk
+	// and all its children so one Cancel stops every branch. Non-nil pointer
+	// to an atomic slot; the slot holds nil until cancelled.
+	cancelErr *atomic.Pointer[error]
+	// reg counts the tree's live (created, not yet absorbed or discarded)
+	// child disks, shared across the tree like cancelErr. isChild/retired
+	// track this disk's own membership.
+	reg     *atomic.Int64
+	isChild bool
+	retired bool
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -155,7 +173,8 @@ func NewDisk(cfg Config) *Disk {
 	if f == 0 {
 		f = DefaultMemFactor
 	}
-	return &Disk{cfg: cfg, memCap: f * cfg.M}
+	return &Disk{cfg: cfg, memCap: f * cfg.M,
+		cancelErr: &atomic.Pointer[error]{}, reg: &atomic.Int64{}}
 }
 
 // Config returns the machine parameters.
@@ -237,6 +256,7 @@ func (d *Disk) chargeRead(blocks int64) {
 	if d.suspended != 0 {
 		return
 	}
+	d.preCharge(opRead, d.stats.IOs())
 	d.applyRead(d.budgetAllowance(blocks))
 }
 
@@ -244,6 +264,7 @@ func (d *Disk) chargeWrite(blocks int64) {
 	if d.suspended != 0 {
 		return
 	}
+	d.preCharge(opWrite, d.stats.IOs())
 	d.applyWrite(d.budgetAllowance(blocks))
 }
 
@@ -408,14 +429,15 @@ func (d *Disk) ChargeBudget() (limit int64, armed bool) {
 // (true, nil) return. The panic unwinds fn from wherever the crossing charge
 // happened, so the disk's transient bookkeeping can be mid-operation; the
 // state captured at the call — phase label and nesting depth, the open tape
-// recorder stack, and the memory accountant's in-use count — is restored
-// before returning. Durable accounting is deliberately kept: the I/O charged
-// before the abort stays in Stats (that is the measured partial cost of the
-// aborted run), and the hi-water mark keeps any peak the aborted run reached.
-// Panics other than ErrBudgetExceeded propagate unchanged.
+// recorder stack, the suspension count, and the memory accountant's in-use
+// count — is restored before returning. Durable accounting is deliberately
+// kept: the I/O charged before the abort stays in Stats (that is the measured
+// partial cost of the aborted run), and the hi-water mark keeps any peak the
+// aborted run reached. Panics other than ErrBudgetExceeded — including fault
+// and cancellation aborts — propagate unchanged; use CatchAbort to convert
+// those into typed errors too.
 func (d *Disk) CatchBudgetExceeded(fn func() error) (aborted bool, err error) {
-	phase, depth := d.phase, d.phaseDepth
-	nrec, npeaks, mem := len(d.recorders), len(d.memPeaks), d.memInUse
+	s := d.takeUnwind()
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -424,10 +446,7 @@ func (d *Disk) CatchBudgetExceeded(fn func() error) (aborted bool, err error) {
 		if e, ok := r.(error); !ok || !errors.Is(e, ErrBudgetExceeded) {
 			panic(r)
 		}
-		d.phase, d.phaseDepth = phase, depth
-		d.recorders = d.recorders[:nrec]
-		d.memPeaks = d.memPeaks[:npeaks]
-		d.memInUse = mem
+		d.restoreUnwind(s)
 		aborted, err = true, nil
 	}()
 	return false, fn()
@@ -560,11 +579,19 @@ func (d *Disk) ReplayTape(t ChargeTape) error {
 // back with Absorb. NewChild does not mutate d, so several children may be
 // created (and run) while the parent is quiescent.
 func (d *Disk) NewChild() *Disk {
-	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, opMemo: d.opMemo}
+	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, opMemo: d.opMemo,
+		cancelErr: d.cancelErr, reg: d.reg, isChild: true}
 	c.stats.MemHiWater = d.memInUse
 	if d.phaseStats != nil {
 		c.phaseStats = map[string]Stats{}
 	}
+	if d.faults != nil {
+		// A fresh injector from the same plan: the child's fault schedule is
+		// keyed on its own I/O indexes, so every branch faults
+		// deterministically no matter how branches are scheduled.
+		c.faults = newFaultInjector(d.faults.plan.FaultPlan)
+	}
+	d.reg.Add(1)
 	return c
 }
 
@@ -580,6 +607,13 @@ func (d *Disk) Absorb(child *Disk) {
 	d.stats.Writes += child.stats.Writes
 	if child.stats.MemHiWater > d.stats.MemHiWater {
 		d.stats.MemHiWater = child.stats.MemHiWater
+	}
+	if child.faults != nil && d.faults != nil {
+		d.faults.stats = d.faults.stats.Add(child.faults.stats)
+	}
+	if child.isChild && !child.retired && child.reg == d.reg {
+		child.retired = true
+		d.reg.Add(-1)
 	}
 	if len(child.phaseStats) > 0 {
 		// A child may carry phase breakdowns the parent never enabled (e.g.

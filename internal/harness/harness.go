@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -190,9 +191,27 @@ type Outcome struct {
 // and seeds its own generators from Params — so concurrent execution yields
 // tables bit-identical to a sequential sweep.
 func RunAll(exps []*Experiment, p Params, parallelism int) []Outcome {
+	return RunAllCtx(context.Background(), exps, p, parallelism)
+}
+
+// RunAllCtx is RunAll with cancellation between experiments: once ctx is
+// done, experiments not yet started are skipped with Err set to the
+// cancellation cause (an in-flight experiment still runs to completion —
+// experiments own their disks, so there is no handle to abort one midway).
+func RunAllCtx(ctx context.Context, exps []*Experiment, p Params, parallelism int) []Outcome {
 	out := make([]Outcome, len(exps))
+	cancelled := func(i int, e *Experiment) bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		out[i] = Outcome{Exp: e, Err: fmt.Errorf("harness: skipped: %w", context.Cause(ctx))}
+		return true
+	}
 	if parallelism <= 1 {
 		for i, e := range exps {
+			if cancelled(i, e) {
+				continue
+			}
 			tab, err := e.Run(p)
 			out[i] = Outcome{Exp: e, Table: tab, Err: err}
 		}
@@ -206,6 +225,9 @@ func RunAll(exps []*Experiment, p Params, parallelism int) []Outcome {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if cancelled(i, e) {
+				return
+			}
 			tab, err := e.Run(p)
 			out[i] = Outcome{Exp: e, Table: tab, Err: err}
 		}(i, e)

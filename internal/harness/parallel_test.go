@@ -1,14 +1,36 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/tuple"
 )
+
+// checkLeaks asserts the run left no child disks in the registry and no
+// extra goroutines (after a grace window for workers to finish exiting).
+func checkLeaks(t *testing.T, d *extmem.Disk, goroutinesBefore int) {
+	t.Helper()
+	if n := d.LiveChildren(); n != 0 {
+		t.Errorf("leak check: %d child disks alive after run", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			t.Errorf("leak check: %d goroutines alive, started with %d",
+				runtime.NumGoroutine(), goroutinesBefore)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // Running the registry concurrently must reproduce the sequential report
 // byte for byte: experiments are independent and RunAll returns outcomes in
@@ -64,10 +86,12 @@ func TestExhaustiveParallelismDeterminism(t *testing.T) {
 			d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
 			g := randomAcyclicGraph(rng, 3+rng.Intn(3))
 			in := randomVerifyInstance(d, rng, g, 20+rng.Intn(20), 4)
+			goroutines := runtime.NumGoroutine()
 			var rows []string
 			r, err := core.Run(g, in, func(a tuple.Assignment) {
 				rows = append(rows, a.String())
 			}, core.Options{Strategy: core.StrategyExhaustive, Parallelism: parallelism, NoPrune: noPrune})
+			checkLeaks(t, d, goroutines)
 			return r, rows, err
 		}
 		wantRes, wantRows, err := run(0, true)
@@ -100,6 +124,43 @@ func TestExhaustiveParallelismDeterminism(t *testing.T) {
 			}
 			if !reflect.DeepEqual(gotRows, wantRows) {
 				t.Errorf("seed %d pruned P=%d emitted rows differ (%d vs %d)", seed, n, len(gotRows), len(wantRows))
+			}
+		}
+	}
+}
+
+// Cancellation mid-branch on harness-style workloads: the run aborts with a
+// typed error at every worker count, with zero leaked children/goroutines.
+func TestHarnessCancellationMidBranchNoLeaks(t *testing.T) {
+	for _, par := range []int{0, 2, 4} {
+		rng := rand.New(rand.NewSource(5))
+		d := extmem.NewDisk(extmem.Config{M: 64, B: 4})
+		g := randomAcyclicGraph(rng, 4)
+		in := randomVerifyInstance(d, rng, g, 30, 4)
+		d.SetFaultPlan(&extmem.FaultPlan{CancelAt: 50})
+		goroutines := runtime.NumGoroutine()
+		_, err := core.Run(g, in, func(tuple.Assignment) {}, core.Options{
+			Strategy: core.StrategyExhaustive, Parallelism: par})
+		checkLeaks(t, d, goroutines)
+		if !errors.Is(err, extmem.ErrCancelled) {
+			t.Fatalf("P=%d: err = %v, want ErrCancelled", par, err)
+		}
+	}
+}
+
+// A cancelled context skips not-yet-started experiments with a typed error
+// in both the sequential and the parallel sweep.
+func TestRunAllCtxCancelledSkips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := All()[:3]
+	for _, par := range []int{1, 4} {
+		for _, o := range RunAllCtx(ctx, exps, Params{M: 64, B: 8, Scale: 1, Seed: 42}, par) {
+			if o.Err == nil || !errors.Is(o.Err, context.Canceled) {
+				t.Errorf("par %d, %s: err = %v, want context.Canceled", par, o.Exp.ID, o.Err)
+			}
+			if o.Table != nil {
+				t.Errorf("par %d, %s: skipped experiment produced a table", par, o.Exp.ID)
 			}
 		}
 	}

@@ -186,12 +186,30 @@ func (m *Memo) Retained() (entries int, tuples int64) {
 // run must be deterministic in (op, input contents): same outputs, same
 // charges, every time. It returns the operator's output files (created on d)
 // and optional int64 metadata (returned verbatim on replay).
+//
+// Do is also the transient-fault retry boundary (extmem.OperatorBoundary):
+// the determinism contract above is exactly the re-runnability a retry needs,
+// so every memoized operator — sorts, semijoins, projections,
+// materializations, heavy splits, pairwise-join materializations — recovers
+// from injected transient I/O faults by rolling back and re-running, whether
+// the memo is attached or not. A rolled-back attempt can leave completed
+// nested recordings in the memo; those are valid (recorded from complete
+// nested runs) and the retry replays them bit-identically. Partial recordings
+// are discarded by the taping defer below, so nothing poisoned is ever
+// stored.
 func Do(d *extmem.Disk, op Op, run func() ([]*extmem.File, []int64, error)) ([]*extmem.File, []int64, error) {
-	m := Of(d)
-	if m == nil {
-		return run()
-	}
-	return m.do(d, op, run)
+	var outs []*extmem.File
+	var meta []int64
+	err := d.OperatorBoundary(func() error {
+		var e error
+		if m := Of(d); m != nil {
+			outs, meta, e = m.do(d, op, run)
+		} else {
+			outs, meta, e = run()
+		}
+		return e
+	})
+	return outs, meta, err
 }
 
 func (m *Memo) do(d *extmem.Disk, op Op, run func() ([]*extmem.File, []int64, error)) ([]*extmem.File, []int64, error) {

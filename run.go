@@ -1,6 +1,7 @@
 package acyclicjoin
 
 import (
+	"context"
 	"fmt"
 
 	"acyclicjoin/internal/core"
@@ -86,6 +87,13 @@ type Options struct {
 	//
 	// Deprecated: set Memo instead.
 	SortCache SortCacheMode
+	// Faults attaches a deterministic, seeded fault-injection plan to the
+	// simulated disk: transient faults are retried at operator boundaries
+	// (retry I/O charged separately on Result.Faults, so the main Stats stay
+	// bit-identical to a fault-free run), permanent faults abort the run
+	// with an error wrapping ErrFault. nil — the default — leaves the fault
+	// layer disabled; the charge path then costs one nil check.
+	Faults *FaultPlan
 }
 
 // MemoMode switches the charge-replay operator memo; the zero value is on.
@@ -177,6 +185,11 @@ type Result struct {
 	//
 	// Deprecated: read Memo instead.
 	SortCache SortCacheStats
+	// Faults reports fault-injection telemetry when Options.Faults was set:
+	// transient/permanent faults seen, inline and boundary retries, the I/O
+	// re-charged by retries, and the simulated backoff cost. All zero when
+	// no plan was attached or the plan never fired.
+	Faults FaultStats
 }
 
 // MemoStats counts memo hits, misses, evictions, and bytes served by replay.
@@ -192,8 +205,22 @@ type SortCacheStats = MemoStats
 
 // Run evaluates the join, calling emit (if non-nil) once per result. The
 // Row passed to emit is freshly allocated per call; for counting-only runs
-// pass nil and read Result.Count.
+// pass nil and read Result.Count. Equivalent to RunContext with a
+// background context.
 func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error) {
+	return RunContext(context.Background(), q, inst, opts, emit)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run is
+// aborted at the next charged block I/O, every unwind path restores the
+// simulated disk, and the returned error wraps ErrCancelled (carrying
+// context.Cause). On an abort — cancellation, a permanent injected fault
+// (ErrFault), or a leaked charge budget (ErrBudget) — the returned *Result
+// is non-nil alongside the error, carrying partial telemetry: rows emitted
+// so far, I/Os charged so far, and Result.Faults. Check the error before
+// trusting any other Result field. RunContext never panics: internal
+// invariant violations surface as errors wrapping ErrInternal.
+func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emit func(Row)) (res *Result, err error) {
 	if inst.q != q {
 		return nil, fmt.Errorf("acyclicjoin: instance belongs to a different query")
 	}
@@ -202,7 +229,25 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+	}
 	disk := extmem.NewDisk(cfg)
+	disk.SetFaultPlan(opts.Faults)
+	stop := disk.WatchContext(ctx)
+	defer stop()
+	var count int64
+	// Last-resort conversion: loading and full reduction run outside
+	// internal/core's catchers, so an abort there still travels as a panic
+	// when it reaches this frame.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = partialResult(disk, count), classifyAbort(r)
+		}
+	}()
 	memoLimits := opcache.Limits{MaxEntries: opts.MemoMaxEntries, MaxTuples: opts.MemoMaxTuples}
 	if opts.Memo != MemoOff && opts.SortCache != SortCacheOff {
 		// Attach before the reduction so its operator runs are recorded too.
@@ -225,9 +270,9 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 
 	work := in
 	if !opts.SkipReduce {
-		red, err := reducer.FullReduce(q.graph, in)
-		if err != nil {
-			return nil, err
+		red, rerr := reducer.FullReduce(q.graph, in)
+		if rerr != nil {
+			return abortResult(disk, count, rerr)
 		}
 		work = red
 	}
@@ -235,7 +280,6 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 	// Emit adapter: decode assignments into Rows.
 	attrOrder := make([]string, len(q.attrNames))
 	copy(attrOrder, q.attrNames)
-	var count int64
 	coreEmit := func(a tuple.Assignment) {
 		count++
 		if emit == nil {
@@ -250,7 +294,7 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		emit(row)
 	}
 
-	res := &Result{}
+	res = &Result{}
 	copts := core.Options{
 		Strategy:      opts.Strategy,
 		AssumeReduced: !opts.SkipReduce,
@@ -261,9 +305,9 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		SortCache:     opts.SortCache,
 	}
 	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
-		plan, err := core.RunLine(q.graph, work, coreEmit, copts)
-		if err != nil {
-			return nil, err
+		plan, lerr := core.RunLine(q.graph, work, coreEmit, copts)
+		if lerr != nil {
+			return abortResult(disk, count, lerr)
 		}
 		res.Plan = plan.Kind.String() + ": " + plan.Reason
 		// The dispatcher commits to one plan up front: no dry-run branches,
@@ -272,9 +316,9 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		res.PlanningStats = res.Stats
 		res.Branches = 1
 	} else {
-		r, err := core.Run(q.graph, work, coreEmit, copts)
-		if err != nil {
-			return nil, err
+		r, cerr := core.Run(q.graph, work, coreEmit, copts)
+		if cerr != nil {
+			return abortResult(disk, count, cerr)
 		}
 		res.Plan = "acyclic-join (Algorithm 2), strategy " + opts.Strategy.String()
 		res.Branches = r.Branches
@@ -294,6 +338,7 @@ func Run(q *Query, inst *Instance, opts Options, emit func(Row)) (*Result, error
 		}
 	}
 	res.Count = count
+	res.Faults = disk.FaultStats()
 	if m := opcache.Of(disk); m != nil {
 		res.Memo = m.Stats()
 		res.SortCache = res.Memo
