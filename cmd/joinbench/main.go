@@ -1,13 +1,14 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E26, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E27, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-opcache=false] [-prune=false] [-timeout 10m] [-benchjson BENCH_opcache.json]
-//	          [-prunejson BENCH_prune.json] [-chaosjson BENCH_chaos.json]
+//	          [-opcache=false] [-prune=false] [-backend file] [-timeout 10m]
+//	          [-benchjson BENCH_opcache.json] [-prunejson BENCH_prune.json]
+//	          [-chaosjson BENCH_chaos.json] [-backendjson BENCH_backend.json]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -34,7 +35,9 @@ type config struct {
 	list                            bool
 	verify, par                     int
 	opcache, sortcache, prune       bool
+	backend, datadir                string
 	benchjson, prunejson, chaosjson string
+	backendjson                     string
 	cpuprof, memprof                string
 }
 
@@ -54,6 +57,9 @@ func main() {
 	flag.StringVar(&c.benchjson, "benchjson", "", "write the machine-readable operator-memo benchmark (wall-clock, I/O, hit rate, evictions) to this file and exit")
 	flag.StringVar(&c.prunejson, "prunejson", "", "write the machine-readable pruning benchmark (wall-clock, planning I/Os saved, branches pruned) to this file and exit")
 	flag.StringVar(&c.chaosjson, "chaosjson", "", "write the machine-readable chaos benchmark (fault rates x worker counts, bit-identity, retry telemetry) to this file and exit")
+	flag.StringVar(&c.backend, "backend", "", "storage engine for every experiment: sim (counting simulator, default) or file (real os.File-backed disk; all tables stay byte-identical); empty falls back to $ACYCLICJOIN_BACKEND")
+	flag.StringVar(&c.datadir, "datadir", "", "directory for the file backend's backing files (default $ACYCLICJOIN_DATADIR, then unlinked temp files)")
+	flag.StringVar(&c.backendjson, "backendjson", "", "write the machine-readable backend differential benchmark (sim vs file: transfer parity, bit-identity, device telemetry, wall-clock) to this file and exit")
 	flag.StringVar(&c.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = no limit); completed tables are still printed")
@@ -122,7 +128,8 @@ func run(ctx context.Context, c config) int {
 	}
 
 	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
-		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune}
+		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune,
+		Backend: c.backend, DataDir: c.datadir}
 
 	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
@@ -172,6 +179,24 @@ func run(ctx context.Context, c config) int {
 			fmt.Printf("%-17s rate=%.2f workers=%d rows=%d execIOs=%d identical=%v transient=%d boundary retries=%d retry IOs=%d backoff IOs=%d\n",
 				w.Name, w.Rate, w.Workers, w.Rows, w.ExecIOs, w.Identical,
 				w.Transient, w.BoundaryRetries, w.RetryIOs, w.BackoffIOs)
+		}
+		return 0
+	}
+
+	if c.backendjson != "" {
+		res, err := harness.BackendBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "backend bench: %v\n", err)
+			return 1
+		}
+		if writeJSON(c.backendjson, res, "backend bench") != nil {
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s wall file/sim = %.2fms/%.2fms (%.1fx)  IOs %d parity=%v identical=%v  preads=%d pwrites=%d cache hits=%d prefetched=%d\n",
+				w.Name, float64(w.WallNanosFile)/1e6, float64(w.WallNanosSim)/1e6,
+				w.Slowdown, w.IOs, w.Parity, w.Identical,
+				w.ReadCalls, w.WriteCalls, w.CacheHits, w.Prefetched)
 		}
 		return 0
 	}

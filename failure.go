@@ -94,7 +94,8 @@ func isAbortErr(err error) bool {
 // the fault counters.
 func partialResult(d *extmem.Disk, count int64) *Result {
 	s := fromExtmem(d.Stats())
-	return &Result{Count: count, Stats: s, PlanningStats: s, Faults: d.FaultStats()}
+	return &Result{Count: count, Stats: s, PlanningStats: s, Faults: d.FaultStats(),
+		Backend: d.BackendName(), Transfers: d.Transfers(), Device: d.DeviceStats()}
 }
 
 // abortResult routes an engine error to the caller: aborts pair a typed

@@ -2,13 +2,17 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extmem/diskfile"
 	"acyclicjoin/internal/hypergraph"
 	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/tuple"
 )
 
 // FuzzPruneOracle is the differential oracle for branch-and-bound pruning:
@@ -156,6 +160,98 @@ func FuzzFaultOracle(f *testing.F) {
 			if fe.Kind != extmem.FaultPermanent {
 				t.Fatalf("permanent arm returned kind %v", fe.Kind)
 			}
+		}
+	})
+}
+
+// engineRunBackend is engineRunOpts on the os.File-backed storage engine:
+// the disk mirrors every charged transfer onto a real (anonymous, unlinked)
+// backing file through the diskfile block cache, byte-verifying each billed
+// read against the in-memory image. Beyond the usual leak checks it asserts
+// the seam parity invariant — charged Stats equal performed plus replayed
+// transfers — and that the engine observed exactly the performed side.
+func engineRunBackend(b builder, opts Options) (*Result, []string, extmem.Stats, error) {
+	cfg := extmem.Config{M: 64, B: 4}
+	eng, err := diskfile.Open("", cfg)
+	if err != nil {
+		panic(fmt.Sprintf("open diskfile engine: %v", err))
+	}
+	defer eng.Close()
+	d := extmem.NewDiskWithBackend(cfg, eng)
+	g, in := b(d)
+	goroutines := runtime.NumGoroutine()
+	var emitted []string
+	r, runErr := Run(g, in, func(a tuple.Assignment) {
+		emitted = append(emitted, a.String())
+	}, opts)
+	assertNoLeaks(d, goroutines, fmt.Sprintf("backend=file opts=%+v err=%v", opts, runErr))
+	st, xfer, dev := d.Stats(), d.Transfers(), d.DeviceStats()
+	if st.Reads != xfer.TotalReads() || st.Writes != xfer.TotalWrites() {
+		panic(fmt.Sprintf("seam parity broken: stats %+v vs transfers %+v", st, xfer))
+	}
+	if dev.BilledReads != xfer.Reads || dev.BilledWrites != xfer.Writes {
+		panic(fmt.Sprintf("engine observed %d/%d billed transfers, ledger performed %d/%d",
+			dev.BilledReads, dev.BilledWrites, xfer.Reads, xfer.Writes))
+	}
+	return r, emitted, st, runErr
+}
+
+// FuzzBackendOracle is the differential oracle for storage backends: a
+// fuzz-chosen acyclic query, instance, worker count, and memo mode evaluated
+// on the os.File-backed engine must reproduce the counting simulator's run
+// bit for bit — the emitted rows in emission order, the full Result stats,
+// the winning Policy, and the final disk Stats. Both arms run unpruned so
+// complete-Result identity is the contract (mirroring engineRun). The file
+// arm additionally byte-verifies every billed read against the in-memory
+// image and checks the seam parity invariant inside engineRunBackend.
+func FuzzBackendOracle(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(20), uint8(1), uint8(0), uint8(0))
+	f.Add(uint8(1), uint8(2), uint8(25), uint8(2), uint8(4), uint8(1))
+	f.Add(uint8(2), uint8(1), uint8(12), uint8(0), uint8(2), uint8(0))
+	f.Add(uint8(3), uint8(0), uint8(30), uint8(1), uint8(8), uint8(1))
+	f.Fuzz(func(t *testing.T, shape, size, rows, dom, par, memoOff uint8) {
+		var g *hypergraph.Graph
+		switch shape % 4 {
+		case 0:
+			g = hypergraph.Line(2 + int(size)%4)
+		case 1:
+			g = hypergraph.StarQuery(2 + int(size)%3)
+		case 2:
+			g = hypergraph.Lollipop(2 + int(size)%2)
+		case 3:
+			g = hypergraph.Dumbbell(2, 4+int(size)%2)
+		}
+		build := func(d *extmem.Disk) (*hypergraph.Graph, relation.Instance) {
+			rng := rand.New(rand.NewSource(int64(shape)<<24 | int64(size)<<16 | int64(rows)<<8 | int64(dom)))
+			return g, randCoreInstance(d, rng, g, 5+int(rows)%28, 2+int(dom)%3)
+		}
+		opts := Options{Strategy: StrategyExhaustive, Parallelism: int(par) % 5, NoPrune: true}
+		if memoOff%2 == 1 {
+			opts.Memo = MemoOff
+		}
+		ref, refRows, refStats, refErr := engineRunOpts(build, opts)
+		fb, fbRows, fbStats, fbErr := engineRunBackend(build, opts)
+		if (refErr == nil) != (fbErr == nil) {
+			t.Fatalf("errors diverge: sim %v, file %v", refErr, fbErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != fbErr.Error() {
+				t.Fatalf("error text diverges: %q vs %q", refErr, fbErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(fbRows, refRows) {
+			t.Fatalf("emitted rows diverge: %d file vs %d sim", len(fbRows), len(refRows))
+		}
+		if fb.Emitted != ref.Emitted || fb.ExecStats != ref.ExecStats || fb.TotalStats != ref.TotalStats {
+			t.Fatalf("result stats diverge: emitted %d/%d exec %+v/%+v total %+v/%+v",
+				fb.Emitted, ref.Emitted, fb.ExecStats, ref.ExecStats, fb.TotalStats, ref.TotalStats)
+		}
+		if !reflect.DeepEqual(fb.Policy, ref.Policy) {
+			t.Fatalf("winning policy diverges: %v vs %v", fb.Policy, ref.Policy)
+		}
+		if fbStats != refStats {
+			t.Fatalf("final disk stats diverge: file %+v vs sim %+v", fbStats, refStats)
 		}
 	})
 }

@@ -1,0 +1,445 @@
+package diskfile_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extmem/diskfile"
+	"acyclicjoin/internal/extsort"
+	"acyclicjoin/internal/opcache"
+)
+
+var cfg = extmem.Config{M: 64, B: 4}
+
+// newFileDisk returns a disk backed by a fresh engine, closed at test end.
+func newFileDisk(t *testing.T, dir string) (*extmem.Disk, *diskfile.Engine) {
+	t.Helper()
+	eng, err := diskfile.Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return extmem.NewDiskWithBackend(cfg, eng), eng
+}
+
+// assertParity checks the seam invariant: every applied charge is a performed
+// or replayed transfer.
+func assertParity(t *testing.T, d *extmem.Disk) {
+	t.Helper()
+	s, x := d.Stats(), d.Transfers()
+	if s.Reads != x.TotalReads() || s.Writes != x.TotalWrites() {
+		t.Fatalf("parity broken: stats reads=%d writes=%d, transfers %+v", s.Reads, s.Writes, x)
+	}
+}
+
+// fill appends n deterministic arity-2 tuples through the charged path.
+func fill(f *extmem.File, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	w := f.NewWriter()
+	for i := 0; i < n; i++ {
+		w.Append([]int64{rng.Int63n(100), rng.Int63n(100)})
+	}
+	w.Close()
+}
+
+func TestMirrorRoundTripParity(t *testing.T) {
+	d, eng := newFileDisk(t, "")
+	f := d.NewFile(2)
+	fill(f, 103, 1) // a partial tail block on purpose
+	r := f.NewReader()
+	var sum int64
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+		sum += tup[0]
+	}
+	if sum == 0 {
+		t.Fatal("read back nothing")
+	}
+	assertParity(t, d)
+	ds := eng.DeviceStats()
+	if ds.BilledWrites != d.Transfers().Writes {
+		t.Fatalf("engine billed writes %d != disk transfers %d", ds.BilledWrites, d.Transfers().Writes)
+	}
+	if ds.BilledReads != d.Transfers().Reads {
+		t.Fatalf("engine billed reads %d != disk transfers %d", ds.BilledReads, d.Transfers().Reads)
+	}
+	if got := ds.CacheHits + ds.DeviceServes + ds.BackfillServes; got != ds.BilledReads {
+		t.Fatalf("read serves %d != billed reads %d (%+v)", got, ds.BilledReads, ds)
+	}
+	if ds.VerifiedCells == 0 {
+		t.Fatal("no cells verified")
+	}
+}
+
+func TestEvictionAndWriteBatching(t *testing.T) {
+	d, eng := newFileDisk(t, "")
+	f := d.NewFile(2)
+	// 64 blocks of data >> 16 cache frames: forces evictions, and the
+	// sequential writer should give the batcher long contiguous runs.
+	fill(f, 64*cfg.B, 2)
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	ds := eng.DeviceStats()
+	if ds.Evictions == 0 {
+		t.Fatalf("expected evictions with %d blocks over a %d-frame cache", 64, cfg.M/cfg.B)
+	}
+	if ds.WriteCalls >= ds.BlockWrites {
+		t.Fatalf("write batching had no effect: %d syscalls for %d frames", ds.WriteCalls, ds.BlockWrites)
+	}
+	if got := eng.CachedFrames(); got > cfg.M/cfg.B {
+		t.Fatalf("cache holds %d frames, capacity %d", got, cfg.M/cfg.B)
+	}
+}
+
+func TestPrefetchOnSequentialScan(t *testing.T) {
+	d, eng := newFileDisk(t, "")
+	f := d.NewFile(2)
+	fill(f, 64*cfg.B, 3)
+	// Evict f's frames by writing a second large file.
+	g := d.NewFile(2)
+	fill(g, 64*cfg.B, 4)
+	r := f.NewReader()
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+	}
+	ds := eng.DeviceStats()
+	if ds.Prefetched == 0 {
+		t.Fatalf("sequential scan triggered no prefetch: %+v", ds)
+	}
+	if ds.CacheHits == 0 {
+		t.Fatalf("prefetched frames produced no cache hits: %+v", ds)
+	}
+	assertParity(t, d)
+}
+
+func TestTruncateReusesDeviceSpace(t *testing.T) {
+	dir := t.TempDir()
+	d, eng := newFileDisk(t, dir)
+	f := d.NewFile(2)
+	fill(f, 32*cfg.B, 5)
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	size1 := backingSize(t, eng)
+	for gen := 0; gen < 4; gen++ {
+		f.Truncate()
+		fill(f, 32*cfg.B, int64(6+gen))
+		if err := eng.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	if size2 := backingSize(t, eng); size2 > 2*size1 {
+		t.Fatalf("truncate does not reuse frames: size grew %d -> %d over 4 rewrites", size1, size2)
+	}
+}
+
+func backingSize(t *testing.T, eng *diskfile.Engine) int64 {
+	t.Helper()
+	fi, err := os.Stat(eng.Path())
+	if err != nil {
+		t.Fatalf("stat backing file: %v", err)
+	}
+	return fi.Size()
+}
+
+func TestCloneDivergenceBackfills(t *testing.T) {
+	d, eng := newFileDisk(t, "")
+	f := d.NewFile(2)
+	fill(f, 10*cfg.B, 7)
+	c := d.NewChild()
+	clone := f.CloneTo(c)
+	// First mutation of the shared alias: fresh contentID and a fresh
+	// physical file with no device frames — the prefix must come back from
+	// the image when read.
+	w := clone.NewWriter()
+	w.Append([]int64{1, 2})
+	w.Close()
+	r := clone.NewReader()
+	n := 0
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+		n++
+	}
+	if want := 10*cfg.B + 1; n != want {
+		t.Fatalf("clone read %d tuples, want %d", n, want)
+	}
+	if ds := eng.DeviceStats(); ds.Backfills == 0 {
+		t.Fatalf("diverged clone read did not backfill: %+v", ds)
+	}
+	assertParity(t, c)
+	d.Absorb(c)
+	// Original must be untouched by the clone's divergence.
+	r = f.NewReader()
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+	}
+	assertParity(t, d)
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	d, eng := newFileDisk(t, dir)
+	f := d.NewFile(2)
+	fill(f, 32*cfg.B, 8)
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Evict f's frames so the scribbled bytes must be fetched back.
+	g := d.NewFile(2)
+	fill(g, 64*cfg.B, 9)
+	// Scribble the device behind the engine's back.
+	raw, err := os.OpenFile(eng.Path(), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open backing file: %v", err)
+	}
+	if _, err := raw.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 3); err != nil {
+		t.Fatalf("scribble: %v", err)
+	}
+	raw.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted device frame was not detected")
+		}
+		if msg := fmt.Sprint(r); !containsAll(msg, "corruption") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	r := f.NewReader()
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSuspendedLoadIsUnbilledButMirrored(t *testing.T) {
+	d, eng := newFileDisk(t, "")
+	f := d.NewFile(2)
+	resume := d.Suspend()
+	fill(f, 20*cfg.B, 10)
+	resume()
+	if s := d.Stats(); s.IOs() != 0 {
+		t.Fatalf("suspended load charged %v", s)
+	}
+	ds := eng.DeviceStats()
+	if ds.UnbilledWrites == 0 || ds.BilledWrites != 0 {
+		t.Fatalf("suspended load not mirrored unbilled: %+v", ds)
+	}
+	// Charged reads must now verify against the mirrored data.
+	r := f.NewReader()
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+	}
+	assertParity(t, d)
+}
+
+// TestCatchAbortMidWriteFileBackend is the PR-5 leak suite extended to the
+// file backend and to file descriptors: a charge-budget abort unwinding a
+// writer mid-block must leave no torn device frames, and closing the engine
+// must leave no open descriptors and no temp files behind.
+func TestCatchAbortMidWriteFileBackend(t *testing.T) {
+	fdsBefore := openFDs(t)
+	dir := t.TempDir()
+	eng, err := diskfile.Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d := extmem.NewDiskWithBackend(cfg, eng)
+	f := d.NewFile(2)
+	fill(f, 10*cfg.B, 11)
+	base := d.Stats().IOs()
+	d.SetChargeBudget(base + 3)
+	pruned, err := d.CatchAbort(func() error {
+		w := f.NewWriter()
+		for i := 0; i < 10_000; i++ {
+			w.Append([]int64{int64(i), int64(i)})
+		}
+		w.Close()
+		return nil
+	})
+	if err != nil || !pruned {
+		t.Fatalf("CatchAbort = (%v, %v), want abort", pruned, err)
+	}
+	if got := d.Stats().IOs(); got != base+3 {
+		t.Fatalf("aborted run charged %d, want watermark %d", got, base+3)
+	}
+	// The ledger must have aborted in lockstep with the stats.
+	assertParity(t, d)
+	// No torn blocks: a full charged scan re-verifies every frame against
+	// the image, including the frame the abort cut through.
+	r := f.NewReader()
+	n := 0
+	for tup := r.Next(); tup != nil; tup = r.Next() {
+		n++
+	}
+	if n != f.Len() {
+		t.Fatalf("scan saw %d tuples, file has %d", n, f.Len())
+	}
+	assertParity(t, d)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if ents, err := os.ReadDir(dir); err == nil && len(ents) != 0 {
+		t.Fatalf("engine left %d temp files in %s", len(ents), dir)
+	}
+	if after := openFDs(t); after > fdsBefore {
+		t.Fatalf("leaked file descriptors: %d -> %d", fdsBefore, after)
+	}
+}
+
+// openFDs counts this process's open descriptors (linux); skips elsewhere.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		if runtime.GOOS != "linux" {
+			t.Skip("fd accounting needs /proc")
+		}
+		t.Fatalf("read /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}
+
+// identityScript drives a fixed sequence of mutations and records the
+// version/content-identity transitions it observes. Absolute ContentID values
+// come from a process-global counter and differ run to run; the trace records
+// the relations (bumped / kept / diverged) instead, which are the semantics
+// opcache keying depends on.
+func identityScript(d *extmem.Disk) []string {
+	var trace []string
+	obs := func(tag string, f *extmem.File) {
+		trace = append(trace, fmt.Sprintf("%s v=%d", tag, f.Version()))
+	}
+	f := d.NewFile(1)
+	obs("new", f)
+	w := f.NewWriter()
+	for i := 0; i < 10; i++ {
+		w.Append([]int64{int64(i)})
+	}
+	w.Close()
+	obs("append10", f)
+	clone := f.CloneTo(d)
+	trace = append(trace, fmt.Sprintf("clone shares id=%v v=%d", clone.ContentID() == f.ContentID(), clone.Version()))
+	snap := clone.Snapshot()
+	trace = append(trace, fmt.Sprintf("snap shares id=%v v=%d", snap.ContentID() == clone.ContentID(), snap.Version()))
+	w = clone.NewWriter()
+	w.Append([]int64{99})
+	w.Close()
+	trace = append(trace, fmt.Sprintf("clone diverged id=%v v=%d", clone.ContentID() != f.ContentID(), clone.Version()))
+	trace = append(trace, fmt.Sprintf("snap kept id=%v v=%d", snap.ContentID() == f.ContentID(), snap.Version()))
+	f.Truncate()
+	trace = append(trace, fmt.Sprintf("truncate kept id=%v v=%d", f.ContentID() == snap.ContentID(), f.Version()))
+	w = f.NewWriter()
+	w.Append([]int64{7})
+	w.Close()
+	obs("rewrite", f)
+	reclone := snap.CloneTo(d)
+	trace = append(trace, fmt.Sprintf("replay clone shares id=%v v=%d", reclone.ContentID() == snap.ContentID(), reclone.Version()))
+	return trace
+}
+
+// TestVersionContentIDBackendIndependent pins the identity semantics the
+// operator memo keys on — Writer and Truncate bump, clones and replay clones
+// preserve, diverging aliases split — to be byte-identical across backends.
+func TestVersionContentIDBackendIndependent(t *testing.T) {
+	sim := extmem.NewDisk(cfg)
+	file, _ := newFileDisk(t, "")
+	simTrace := identityScript(sim)
+	fileTrace := identityScript(file)
+	if len(simTrace) != len(fileTrace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(simTrace), len(fileTrace))
+	}
+	for i := range simTrace {
+		if simTrace[i] != fileTrace[i] {
+			t.Fatalf("identity trace diverges at step %d:\n  sim:  %s\n  file: %s", i, simTrace[i], fileTrace[i])
+		}
+	}
+}
+
+// TestOpcacheHitsBackendIndependent proves memo behaviour does not depend on
+// the storage engine: the same repeated sort hits on both backends, replays
+// the same charges, and returns the same rows.
+func TestOpcacheHitsBackendIndependent(t *testing.T) {
+	type outcome struct {
+		hits, misses int64
+		stats        extmem.Stats
+		rows         []int64
+	}
+	run := func(d *extmem.Disk) outcome {
+		opcache.Enable(d)
+		f := d.NewFile(2)
+		fill(f, 30*cfg.B, 12)
+		s1, err := extsort.SortCols(f, []int{0, 1})
+		if err != nil {
+			t.Fatalf("sort: %v", err)
+		}
+		s2, err := extsort.SortCols(f, []int{0, 1})
+		if err != nil {
+			t.Fatalf("re-sort: %v", err)
+		}
+		if got, want := len(s2.Raw()), len(s1.Raw()); got != want {
+			t.Fatalf("hit returned %d cells, miss returned %d", got, want)
+		}
+		ms := opcache.Of(d).Stats()
+		rows := append([]int64(nil), s2.Raw()...)
+		return outcome{hits: ms.Hits, misses: ms.Misses, stats: d.Stats(), rows: rows}
+	}
+	sim := run(extmem.NewDisk(cfg))
+	fd, _ := newFileDisk(t, "")
+	file := run(fd)
+	if sim.hits != file.hits || sim.misses != file.misses {
+		t.Fatalf("memo behaviour differs: sim hits=%d misses=%d, file hits=%d misses=%d",
+			sim.hits, sim.misses, file.hits, file.misses)
+	}
+	if sim.hits == 0 {
+		t.Fatal("repeated sort did not hit the memo")
+	}
+	if sim.stats != file.stats {
+		t.Fatalf("charged stats differ: sim %v, file %v", sim.stats, file.stats)
+	}
+	if len(sim.rows) != len(file.rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(sim.rows), len(file.rows))
+	}
+	for i := range sim.rows {
+		if sim.rows[i] != file.rows[i] {
+			t.Fatalf("rows diverge at cell %d", i)
+		}
+	}
+	// The hit replayed charges: the file disk's ledger must show them on the
+	// replayed side, with parity intact.
+	x := fd.Transfers()
+	if x.ReplayedReads+x.ReplayedWrites == 0 {
+		t.Fatal("memo hit produced no replayed transfers")
+	}
+	assertParity(t, fd)
+}
+
+func TestAnonymousBackingFileHasNoPath(t *testing.T) {
+	eng, err := diskfile.Open("", cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if eng.Path() != "" {
+		t.Fatalf("anonymous engine kept a path: %q", eng.Path())
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

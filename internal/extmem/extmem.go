@@ -34,23 +34,26 @@ type Config struct {
 // DefaultMemFactor is the default constant c in the c*M memory allowance.
 const DefaultMemFactor = 16
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Error messages carry
+// the offending values of M and B plus the violated minimum, so a bad machine
+// configuration is diagnosable from the message alone.
 func (c Config) Validate() error {
 	if c.M <= 0 {
-		return fmt.Errorf("extmem: memory size M=%d must be positive", c.M)
+		return fmt.Errorf("extmem: invalid config M=%d B=%d: memory size M must be at least 1 tuple", c.M, c.B)
 	}
 	if c.B <= 0 {
-		return fmt.Errorf("extmem: block size B=%d must be positive", c.B)
+		return fmt.Errorf("extmem: invalid config M=%d B=%d: block size B must be at least 1 tuple", c.M, c.B)
 	}
 	if c.B > c.M {
-		return fmt.Errorf("extmem: block size B=%d exceeds memory size M=%d", c.B, c.M)
+		return fmt.Errorf("extmem: invalid config M=%d B=%d: block size B exceeds memory size M (need M >= 3*B = %d)",
+			c.M, c.B, 3*c.B)
 	}
 	// Multi-way merging needs M/B - 1 >= 2 input blocks plus one output block
 	// resident at once; smaller ratios would force the sorter to over-subscribe
 	// the M budget, so they are rejected up front instead.
 	if c.M/c.B-1 < 2 {
-		return fmt.Errorf("extmem: M=%d, B=%d gives merge fan-in %d < 2 (need M >= 3B)",
-			c.M, c.B, c.M/c.B-1)
+		return fmt.Errorf("extmem: invalid config M=%d B=%d: merge fan-in M/B-1 = %d is below the minimum 2 (need M >= 3*B = %d)",
+			c.M, c.B, c.M/c.B-1, 3*c.B)
 	}
 	return nil
 }
@@ -158,6 +161,14 @@ type Disk struct {
 	reg     *atomic.Int64
 	isChild bool
 	retired bool
+	// backend executes the transfer commands behind the charging seam; nil is
+	// the pure counting simulator (see backend.go). Shared by the whole disk
+	// tree: NewChild propagates the pointer.
+	backend Backend
+	// xfer is the per-disk seam-transfer ledger mirroring stats — see
+	// XferStats for the invariant tying the two together. Absorb folds it,
+	// ResetStats zeroes it, fault rollback restores it.
+	xfer XferStats
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -189,9 +200,11 @@ func (d *Disk) B() int { return d.cfg.B }
 // Stats returns a snapshot of the accumulated statistics.
 func (d *Disk) Stats() Stats { return d.stats }
 
-// ResetStats zeroes the I/O counters and the memory hi-water mark.
+// ResetStats zeroes the I/O counters, the seam-transfer ledger, and the
+// memory hi-water mark.
 func (d *Disk) ResetStats() {
 	d.stats = Stats{}
+	d.xfer = XferStats{}
 	d.stats.MemHiWater = d.memInUse
 }
 
@@ -252,12 +265,22 @@ func (d *Disk) StartMemPeak() func() int {
 	}
 }
 
+// chargeRead and chargeWrite charge replayed transfers (ReplayIO): blocks
+// that bill the cost of I/O a memoized run already performed. No concrete
+// window exists to hand the backend, so the seam ledger books them on the
+// replayed side — keeping Stats == performed + replayed exact on both
+// backends. Concrete transfers go through chargeReadWindow/chargeWriteWindow
+// (backend.go) instead.
 func (d *Disk) chargeRead(blocks int64) {
 	if d.suspended != 0 {
 		return
 	}
 	d.preCharge(opRead, d.stats.IOs())
-	d.applyRead(d.budgetAllowance(blocks))
+	n := d.budgetAllowance(blocks)
+	if n > 0 {
+		d.xfer.ReplayedReads += n
+	}
+	d.applyRead(n)
 }
 
 func (d *Disk) chargeWrite(blocks int64) {
@@ -265,7 +288,11 @@ func (d *Disk) chargeWrite(blocks int64) {
 		return
 	}
 	d.preCharge(opWrite, d.stats.IOs())
-	d.applyWrite(d.budgetAllowance(blocks))
+	n := d.budgetAllowance(blocks)
+	if n > 0 {
+		d.xfer.ReplayedWrites += n
+	}
+	d.applyWrite(n)
 }
 
 // budgetAllowance checks an armed charge budget against a pending charge of
@@ -580,7 +607,7 @@ func (d *Disk) ReplayTape(t ChargeTape) error {
 // created (and run) while the parent is quiescent.
 func (d *Disk) NewChild() *Disk {
 	c := &Disk{cfg: d.cfg, memCap: d.memCap, memInUse: d.memInUse, opMemo: d.opMemo,
-		cancelErr: d.cancelErr, reg: d.reg, isChild: true}
+		cancelErr: d.cancelErr, reg: d.reg, isChild: true, backend: d.backend}
 	c.stats.MemHiWater = d.memInUse
 	if d.phaseStats != nil {
 		c.phaseStats = map[string]Stats{}
@@ -605,6 +632,7 @@ func (d *Disk) NewChild() *Disk {
 func (d *Disk) Absorb(child *Disk) {
 	d.stats.Reads += child.stats.Reads
 	d.stats.Writes += child.stats.Writes
+	d.xfer = d.xfer.Add(child.xfer)
 	if child.stats.MemHiWater > d.stats.MemHiWater {
 		d.stats.MemHiWater = child.stats.MemHiWater
 	}
@@ -645,6 +673,12 @@ type File struct {
 	contentID uint64
 	version   uint64
 	shared    bool
+	// phys is the backend's physical-file handle (meaningful only when the
+	// disk has a backend). Clones and snapshots share it — same bytes, same
+	// device file; a shared alias takes a fresh handle on its first mutation,
+	// and Truncate swaps to a fresh handle so stale snapshots of the old
+	// contents never collide with rewritten device frames.
+	phys uint64
 }
 
 // contentIDs is the process-global content-identity counter. Atomic because
@@ -659,7 +693,11 @@ func (d *Disk) NewFile(arity int) *File {
 		panic(fmt.Sprintf("extmem: NewFile: negative arity %d", arity))
 	}
 	d.nextID++
-	return &File{d: d, id: d.nextID, arity: arity, contentID: contentIDs.Add(1)}
+	f := &File{d: d, id: d.nextID, arity: arity, contentID: contentIDs.Add(1)}
+	if d.backend != nil {
+		f.phys = d.backend.CreateFile(arity)
+	}
+	return f
 }
 
 // CloneTo returns a handle to f's contents that charges its I/O to disk d
@@ -671,7 +709,7 @@ func (d *Disk) NewFile(arity int) *File {
 func (f *File) CloneTo(d *Disk) *File {
 	d.nextID++
 	return &File{d: d, id: d.nextID, arity: f.arity, data: f.data[:len(f.data):len(f.data)],
-		contentID: f.contentID, version: f.version, shared: true}
+		contentID: f.contentID, version: f.version, shared: true, phys: f.phys}
 }
 
 // Snapshot returns a frozen, disk-less view of f's current contents for
@@ -680,7 +718,7 @@ func (f *File) CloneTo(d *Disk) *File {
 // zero-cost content verification.
 func (f *File) Snapshot() *File {
 	return &File{arity: f.arity, data: f.data[:len(f.data):len(f.data)],
-		contentID: f.contentID, version: f.version, shared: true}
+		contentID: f.contentID, version: f.version, shared: true, phys: f.phys}
 }
 
 // ContentID returns the file's content-identity tag. Together with Version it
@@ -693,10 +731,17 @@ func (f *File) Version() uint64 { return f.version }
 
 // mutating records a content change: shared aliases (clones) take a fresh
 // contentID so the pair they used to share keeps naming the original data.
+// On a backend, a shared alias likewise takes a fresh physical file — its
+// pinned image slice will reallocate on append (copy-on-write), so its device
+// mirror must diverge from the original's too; the missing prefix frames are
+// backfilled from the image on demand.
 func (f *File) mutating() {
 	if f.shared {
 		f.contentID = contentIDs.Add(1)
 		f.shared = false
+		if f.d != nil && f.d.backend != nil {
+			f.phys = f.d.backend.CreateFile(f.arity)
+		}
 	}
 	f.version++
 }
@@ -722,10 +767,18 @@ func (f *File) Blocks() int64 {
 	return (n + b - 1) / b
 }
 
-// Truncate discards the file's contents.
+// Truncate discards the file's contents. On a backend the old physical file
+// is released and a fresh one takes its place: snapshots taken before the
+// truncate keep aliasing the old (now storage-free) handle and rebuild their
+// frames from their pinned image if read, while data written after the
+// truncate can never collide with a stale snapshot's device frames.
 func (f *File) Truncate() {
 	f.mutating()
 	f.data = f.data[:0]
+	if f.d != nil && f.d.backend != nil {
+		f.d.backend.Truncate(f.phys)
+		f.phys = f.d.backend.CreateFile(f.arity)
+	}
 }
 
 // slot returns the flat width of one tuple, treating arity 0 as width 1
@@ -772,7 +825,8 @@ func (w *Writer) Append(t []int64) {
 	w.buffed++
 	w.written++
 	if w.buffed == f.d.cfg.B {
-		f.d.chargeWrite(1)
+		end := f.Len()
+		f.d.chargeWriteWindow(f, end-w.buffed, end)
 		w.buffed = 0
 	}
 }
@@ -787,7 +841,8 @@ func (w *Writer) Close() {
 	}
 	w.closed = true
 	if w.buffed > 0 {
-		w.f.d.chargeWrite(1)
+		end := w.f.Len()
+		w.f.d.chargeWriteWindow(w.f, end-w.buffed, end)
 		w.buffed = 0
 	}
 }
@@ -822,7 +877,7 @@ func (r *Reader) Next() []int64 {
 		return nil
 	}
 	if r.remaining == 0 {
-		r.f.d.chargeRead(1)
+		r.f.d.chargeReadWindow(r.f, r.pos)
 		b := r.f.d.cfg.B
 		// Charge covers the rest of the block containing pos.
 		r.remaining = b - r.pos%b
@@ -846,7 +901,7 @@ func (r *Reader) Peek() []int64 {
 		return nil
 	}
 	if r.remaining == 0 {
-		r.f.d.chargeRead(1)
+		r.f.d.chargeReadWindow(r.f, r.pos)
 		b := r.f.d.cfg.B
 		r.remaining = b - r.pos%b
 	}
@@ -878,7 +933,7 @@ func (f *File) ReadBlock(i int) [][]int64 {
 	if hi > f.Len() {
 		hi = f.Len()
 	}
-	f.d.chargeRead(1)
+	f.d.chargeReadWindow(f, lo)
 	out := make([][]int64, 0, hi-lo)
 	slot := f.slot()
 	for j := lo; j < hi; j++ {

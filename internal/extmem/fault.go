@@ -286,6 +286,7 @@ const (
 // recorder and peak watch that was already open when the boundary started.
 type opSnapshot struct {
 	stats      Stats
+	xfer       XferStats
 	memInUse   int
 	phase      string
 	phaseDepth int
@@ -308,6 +309,7 @@ type recSnap struct {
 func (d *Disk) snapshotOp() opSnapshot {
 	s := opSnapshot{
 		stats:      d.stats,
+		xfer:       d.xfer,
 		memInUse:   d.memInUse,
 		phase:      d.phase,
 		phaseDepth: d.phaseDepth,
@@ -344,6 +346,7 @@ func (d *Disk) snapshotOp() opSnapshot {
 // rollback per failed attempt) is safe.
 func (d *Disk) restoreOp(s opSnapshot) {
 	d.stats = s.stats
+	d.xfer = s.xfer
 	d.memInUse = s.memInUse
 	d.phase = s.phase
 	d.phaseDepth = s.phaseDepth

@@ -211,7 +211,7 @@ func runE21(p Params) (*Table, error) {
 	}
 	n := 2048 * p.Scale
 	for _, m := range []int{64, 128, 256, 512} {
-		d := extmem.NewDisk(extmem.Config{M: m, B: p.B})
+		d := newBackendDisk(p, extmem.Config{M: m, B: p.B})
 		g, in := workload.Line3WorstCase(d, n, n)
 		var res int64
 		st, err := measure(d, func() error { return core.Line3(g, in, countEmit(&res)) })

@@ -17,7 +17,7 @@ import (
 )
 
 func newDisk(p Params) *extmem.Disk {
-	d := extmem.NewDisk(extmem.Config{M: p.M, B: p.B})
+	d := newBackendDisk(p, extmem.Config{M: p.M, B: p.B})
 	if !p.NoMemo && !p.NoSortCache {
 		opcache.Enable(d)
 	}

@@ -61,7 +61,7 @@ type memoArm struct {
 func runMemoArm(p Params, w int, arm memoArm) (extmem.Stats, int64, opcache.Stats, time.Duration, error) {
 	ap := p
 	ap.NoMemo = arm.mode == core.MemoOff
-	d := extmem.NewDisk(extmem.Config{M: ap.M, B: ap.B})
+	d := newBackendDisk(ap, extmem.Config{M: ap.M, B: ap.B})
 	if !ap.NoMemo {
 		opcache.EnableLimited(d, arm.limits)
 	}

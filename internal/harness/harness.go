@@ -9,6 +9,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +43,19 @@ type Params struct {
 	// internally and ignore this knob. E25 measures the pruned-vs-unpruned
 	// difference explicitly.
 	NoPrune bool
+	// Backend selects the storage engine every experiment machine is built
+	// on: "sim" (or empty) for the counting simulator, "file" for the
+	// os.File-backed engine, which physically executes and verifies each
+	// charged transfer. Tables are byte-identical across backends — the
+	// model sits above the backend seam — so the switch exists for the
+	// differential suite (E27) and for running the whole registry as a real
+	// systems benchmark. An empty value falls back to the
+	// ACYCLICJOIN_BACKEND environment variable.
+	Backend string
+	// DataDir is where the file backend keeps its backing files; empty means
+	// the ACYCLICJOIN_DATADIR environment variable, then the system temp
+	// directory with files unlinked at creation.
+	DataDir string
 }
 
 // WithDefaults fills zero fields.
@@ -54,6 +68,15 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.Scale == 0 {
 		p.Scale = 1
+	}
+	if p.Backend == "" {
+		p.Backend = os.Getenv("ACYCLICJOIN_BACKEND")
+	}
+	if p.Backend == "" {
+		p.Backend = "sim"
+	}
+	if p.DataDir == "" {
+		p.DataDir = os.Getenv("ACYCLICJOIN_DATADIR")
 	}
 	return p
 }

@@ -50,7 +50,7 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			b := 2 + rng.Intn(3)
 			m := b * (3 + rng.Intn(3)) // multiplier >= 3 keeps the merge fan-in valid
-			d := extmem.NewDisk(extmem.Config{M: m, B: b})
+			d := newBackendDisk(p, extmem.Config{M: m, B: b})
 			g := cfg.gen(rng)
 			in := randomVerifyInstance(d, rng, g, 5+rng.Intn(30), 2+rng.Intn(3))
 			want, err := oracleSet(g, in)

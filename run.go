@@ -3,9 +3,11 @@ package acyclicjoin
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extmem/diskfile"
 	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/reducer"
 	"acyclicjoin/internal/relation"
@@ -87,6 +89,22 @@ type Options struct {
 	//
 	// Deprecated: set Memo instead.
 	SortCache SortCacheMode
+	// Backend selects the storage engine behind the simulated disk: "sim"
+	// (or empty — the default) counts block transfers in memory; "file" runs
+	// every charged transfer against a real os.File through an aligned block
+	// cache, byte-verifying charged reads against the in-memory image. The
+	// model sits entirely above the seam, so Count, Stats, the winning plan,
+	// and the emitted rows are bit-identical across backends; Result.Device
+	// reports the file engine's syscall-level telemetry. An empty value
+	// falls back to the ACYCLICJOIN_BACKEND environment variable, letting a
+	// whole test suite be re-run on the file engine without code changes.
+	Backend string
+	// DataDir is where the file backend keeps its backing file. Empty means
+	// the ACYCLICJOIN_DATADIR environment variable, and failing that the
+	// system temp directory with the file unlinked at creation (storage
+	// lives only as an open descriptor and is reclaimed even on a crash).
+	// Ignored by the sim backend.
+	DataDir string
 	// Faults attaches a deterministic, seeded fault-injection plan to the
 	// simulated disk: transient faults are retried at operator boundaries
 	// (retry I/O charged separately on Result.Faults, so the main Stats stay
@@ -126,6 +144,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Block == 0 {
 		o.Block = 64
+	}
+	if o.Backend == "" {
+		o.Backend = os.Getenv("ACYCLICJOIN_BACKEND")
+	}
+	if o.Backend == "" {
+		o.Backend = "sim"
+	}
+	if o.DataDir == "" {
+		o.DataDir = os.Getenv("ACYCLICJOIN_DATADIR")
 	}
 	return o
 }
@@ -190,10 +217,30 @@ type Result struct {
 	// re-charged by retries, and the simulated backoff cost. All zero when
 	// no plan was attached or the plan never fired.
 	Faults FaultStats
+	// Backend names the storage engine the run executed on ("sim" or
+	// "file").
+	Backend string
+	// Transfers is the backend-seam ledger for the whole run (reduction and
+	// planning included): every charge in PlanningStats is either a
+	// performed transfer (a concrete block window crossed the seam) or a
+	// replayed one (a memo hit billing recorded charges). On both backends
+	// PlanningStats.Reads == Transfers.Reads + Transfers.ReplayedReads, and
+	// likewise for writes — on the file backend the performed side was
+	// physically executed and verified against the image.
+	Transfers TransferStats
+	// Device is the file engine's syscall-level telemetry (cache hits,
+	// coalesced writes, prefetches); all zero on the sim backend.
+	Device DeviceStats
 }
 
 // MemoStats counts memo hits, misses, evictions, and bytes served by replay.
 type MemoStats = opcache.Stats
+
+// TransferStats is the backend-seam transfer ledger; see extmem.XferStats.
+type TransferStats = extmem.XferStats
+
+// DeviceStats is the file backend's device telemetry; see extmem.DeviceStats.
+type DeviceStats = extmem.DeviceStats
 
 // PruneStats is the branch-and-bound telemetry of the exhaustive planner.
 type PruneStats = core.PruneStats
@@ -235,7 +282,11 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 	if ctx.Err() != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
 	}
-	disk := extmem.NewDisk(cfg)
+	disk, closeBackend, err := newBackendDisk(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeBackend()
 	disk.SetFaultPlan(opts.Faults)
 	stop := disk.WatchContext(ctx)
 	defer stop()
@@ -339,11 +390,31 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 	}
 	res.Count = count
 	res.Faults = disk.FaultStats()
+	res.Backend = disk.BackendName()
+	res.Transfers = disk.Transfers()
+	res.Device = disk.DeviceStats()
 	if m := opcache.Of(disk); m != nil {
 		res.Memo = m.Stats()
 		res.SortCache = res.Memo
 	}
 	return res, nil
+}
+
+// newBackendDisk builds the simulated disk on the configured storage engine
+// and returns a release function for the engine's resources.
+func newBackendDisk(cfg extmem.Config, opts Options) (*extmem.Disk, func(), error) {
+	switch opts.Backend {
+	case "sim":
+		return extmem.NewDisk(cfg), func() {}, nil
+	case "file":
+		eng, err := diskfile.Open(opts.DataDir, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("acyclicjoin: open file backend: %w", err)
+		}
+		return extmem.NewDiskWithBackend(cfg, eng), func() { eng.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("acyclicjoin: unknown backend %q (want \"sim\" or \"file\")", opts.Backend)
+	}
 }
 
 // Count evaluates the join and returns only the number of results and stats.
