@@ -69,6 +69,7 @@ func BenchmarkE24OperatorMemoAB(b *testing.B)      { benchExperiment(b, "E24", b
 func BenchmarkE25PruningAB(b *testing.B)           { benchExperiment(b, "E25", benchParams) }
 func BenchmarkE26ChaosSweep(b *testing.B)          { benchExperiment(b, "E26", benchParams) }
 func BenchmarkE27BackendDifferential(b *testing.B) { benchExperiment(b, "E27", benchParams) }
+func BenchmarkE28GreedyPlanner(b *testing.B)       { benchExperiment(b, "E28", benchParams) }
 
 // BenchmarkPublicAPIRun measures the end-to-end public API on a skewed
 // 3-hop path query, reporting simulated I/Os per operation.
@@ -181,6 +182,7 @@ func BenchmarkStrategies(b *testing.B) {
 	}{
 		{"first", StrategyFirst},
 		{"smallest", StrategySmallest},
+		{"greedy", StrategyGreedy},
 		{"exhaustive", StrategyExhaustive},
 	} {
 		b.Run(s.name, func(b *testing.B) {

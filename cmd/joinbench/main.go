@@ -1,14 +1,16 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E27, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E28, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-opcache=false] [-prune=false] [-backend file] [-timeout 10m]
+//	          [-opcache=false] [-prune=false] [-backend file] [-strategy greedy]
+//	          [-timeout 10m]
 //	          [-benchjson BENCH_opcache.json] [-prunejson BENCH_prune.json]
 //	          [-chaosjson BENCH_chaos.json] [-backendjson BENCH_backend.json]
+//	          [-greedyjson BENCH_greedy.json]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -35,9 +37,9 @@ type config struct {
 	list                            bool
 	verify, par                     int
 	opcache, sortcache, prune       bool
-	backend, datadir                string
+	backend, datadir, strategy      string
 	benchjson, prunejson, chaosjson string
-	backendjson                     string
+	backendjson, greedyjson         string
 	cpuprof, memprof                string
 }
 
@@ -60,6 +62,8 @@ func main() {
 	flag.StringVar(&c.backend, "backend", "", "storage engine for every experiment: sim (counting simulator, default) or file (real os.File-backed disk; all tables stay byte-identical); empty falls back to $ACYCLICJOIN_BACKEND")
 	flag.StringVar(&c.datadir, "datadir", "", "directory for the file backend's backing files (default $ACYCLICJOIN_DATADIR, then unlinked temp files)")
 	flag.StringVar(&c.backendjson, "backendjson", "", "write the machine-readable backend differential benchmark (sim vs file: transfer parity, bit-identity, device telemetry, wall-clock) to this file and exit")
+	flag.StringVar(&c.greedyjson, "greedyjson", "", "write the machine-readable greedy-planner benchmark (planning I/Os vs the exhaustive sweep, plan-quality ratio, wall-clock) to this file and exit")
+	flag.StringVar(&c.strategy, "strategy", "", "restrict the -verify sweep to one peeling strategy: exhaustive, first, smallest, or greedy; empty falls back to $ACYCLICJOIN_STRATEGY, then the full sweep")
 	flag.StringVar(&c.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = no limit); completed tables are still printed")
@@ -129,7 +133,7 @@ func run(ctx context.Context, c config) int {
 
 	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
 		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune,
-		Backend: c.backend, DataDir: c.datadir}
+		Backend: c.backend, DataDir: c.datadir, Strategy: c.strategy}
 
 	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
@@ -197,6 +201,24 @@ func run(ctx context.Context, c config) int {
 				w.Name, float64(w.WallNanosFile)/1e6, float64(w.WallNanosSim)/1e6,
 				w.Slowdown, w.IOs, w.Parity, w.Identical,
 				w.ReadCalls, w.WriteCalls, w.CacheHits, w.Prefetched)
+		}
+		return 0
+	}
+
+	if c.greedyjson != "" {
+		res, err := harness.GreedyBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greedy bench: %v\n", err)
+			return 1
+		}
+		if writeJSON(c.greedyjson, res, "greedy bench") != nil {
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s wall greedy/exh = %.2fms/%.2fms (%.1fx)  planning IOs %d vs %d (%.1f%%)  exec IOs %d vs %d (quality %.2fx)  rows equal=%v\n",
+				w.Name, float64(w.WallNanosGreedy)/1e6, float64(w.WallNanosExhaustive)/1e6,
+				w.Speedup, w.PlanningIOsGreedy, w.PlanningIOsExhaustive, 100*w.PlanningFraction,
+				w.ExecIOsGreedy, w.ExecIOsBest, w.QualityRatio, w.RowsEqual)
 		}
 		return 0
 	}

@@ -30,7 +30,8 @@ func main() {
 		countIt   = flag.Bool("count", false, "print only the result count")
 		header    = flag.Bool("header", false, "CSV files have a header row to skip")
 		limit     = flag.Int("limit", 20, "max rows to print (0 = unlimited)")
-		strat     = flag.String("strategy", "exhaustive", "peeling strategy: exhaustive|first|smallest")
+		strat     = flag.String("strategy", "", "peeling strategy: exhaustive|first|smallest|greedy; empty falls back to $ACYCLICJOIN_STRATEGY, then exhaustive")
+		explain   = flag.Bool("explain", false, "print the planning report (plan, branch counters, I/O split, greedy score rationale) to stderr after the run")
 		par       = flag.Int("parallel", 0, "concurrent dry-run branches for the exhaustive strategy (0 = sequential; results and the winning plan are identical at any setting)")
 		prune     = flag.Bool("prune", true, "abort dry-run branches once they exceed the best completed branch's cost; results and plan are unaffected, but the planning I/O read/write split can shift (pass -prune=false to pin the I/O line across -parallel settings)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); the partial telemetry gathered so far is printed")
@@ -78,15 +79,13 @@ func main() {
 	if *faultRate > 0 {
 		opts.Faults = &acyclicjoin.FaultPlan{Seed: *faultSeed, TransientRate: *faultRate}
 	}
-	switch *strat {
-	case "exhaustive":
-		opts.Strategy = acyclicjoin.StrategyExhaustive
-	case "first":
-		opts.Strategy = acyclicjoin.StrategyFirst
-	case "smallest":
-		opts.Strategy = acyclicjoin.StrategySmallest
-	default:
-		fatal("unknown strategy %q", *strat)
+	name := *strat
+	if name == "" {
+		name = os.Getenv("ACYCLICJOIN_STRATEGY")
+	}
+	opts.Strategy, err = acyclicjoin.ParseStrategy(name)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	attrs := q.Attributes()
@@ -135,6 +134,9 @@ func main() {
 	}
 	if res.Faults.Any() {
 		fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)
+	}
+	if *explain {
+		fmt.Fprint(os.Stderr, res.ExplainString())
 	}
 }
 

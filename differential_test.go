@@ -118,6 +118,7 @@ func TestDifferentialAgainstGenericJoin(t *testing.T) {
 	}{
 		{"first", Options{Strategy: StrategyFirst}},
 		{"smallest", Options{Strategy: StrategySmallest}},
+		{"greedy", Options{Strategy: StrategyGreedy}},
 		{"exhaustive", Options{Strategy: StrategyExhaustive}},
 		{"exhaustive-noprune", Options{Strategy: StrategyExhaustive, NoPrune: true}},
 		{"exhaustive-par4", Options{Strategy: StrategyExhaustive, Parallelism: 4}},
@@ -160,6 +161,76 @@ func TestDifferentialAgainstGenericJoin(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCrossStrategyGreedyDifferential grades the greedy planner against the
+// exhaustive oracle on a randomized corpus, across exhaustive worker counts
+// and both storage backends: the emitted row multiset and Count must match
+// exactly, greedy must report a single branch with zero chooser clamps, and
+// on every workload where the oracle actually explored alternatives its
+// planning overhead (PlanningStats beyond Stats) must be strictly above
+// greedy's bounded probes.
+func TestCrossStrategyGreedyDifferential(t *testing.T) {
+	const trials = 12
+	for _, backend := range []string{"sim", "file"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(9000 + trial)))
+				q := randomTreeQuery(rng)
+				inst := q.NewInstance()
+				fillRandom(rng, q, inst, trial%4 == 0)
+				var gotG []string
+				gr, err := Run(q, inst, Options{Memory: 64, Block: 8, Strategy: StrategyGreedy,
+					Backend: backend}, func(row Row) {
+					gotG = append(gotG, canonRow(q, row))
+				})
+				if err != nil {
+					t.Fatalf("trial %d greedy: %v", trial, err)
+				}
+				if gr.Branches != 1 {
+					t.Fatalf("trial %d: greedy explored %d branches", trial, gr.Branches)
+				}
+				if gr.ClampedChoices != 0 {
+					t.Fatalf("trial %d: greedy clamped %d choices", trial, gr.ClampedChoices)
+				}
+				sort.Strings(gotG)
+				for _, workers := range []int{0, 2, 4} {
+					var gotE []string
+					ex, err := Run(q, inst, Options{Memory: 64, Block: 8, Strategy: StrategyExhaustive,
+						Parallelism: workers, Backend: backend}, func(row Row) {
+						gotE = append(gotE, canonRow(q, row))
+					})
+					if err != nil {
+						t.Fatalf("trial %d exhaustive P=%d: %v", trial, workers, err)
+					}
+					if gr.Count != ex.Count {
+						t.Fatalf("trial %d P=%d: greedy Count %d, exhaustive %d",
+							trial, workers, gr.Count, ex.Count)
+					}
+					sort.Strings(gotE)
+					if len(gotG) != len(gotE) {
+						t.Fatalf("trial %d P=%d: greedy %d rows, exhaustive %d",
+							trial, workers, len(gotG), len(gotE))
+					}
+					for i := range gotE {
+						if gotG[i] != gotE[i] {
+							t.Fatalf("trial %d P=%d: row %d = %q, exhaustive %q",
+								trial, workers, i, gotG[i], gotE[i])
+						}
+					}
+					if ex.Branches > 1 {
+						planG := gr.PlanningStats.IOs - gr.Stats.IOs
+						planE := ex.PlanningStats.IOs - ex.Stats.IOs
+						if planG >= planE {
+							t.Fatalf("trial %d P=%d: greedy planning %d I/Os not below exhaustive %d (%d branches)",
+								trial, workers, planG, planE, ex.Branches)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -106,6 +106,29 @@ func Explain(q *Query, sizes map[string]float64, opts Options) (*Explanation, er
 	return ex, nil
 }
 
+// ExplainString renders the run outcome as a human-readable planning
+// report: the executed plan, the branch and pruning counters, the I/O split
+// between execution and planning, and — for StrategyGreedy — the per-choice
+// score rationale the planner recorded at each decision point.
+func (r *Result) ExplainString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", r.Plan)
+	fmt.Fprintf(&b, "branches explored: %d\n", r.Branches)
+	fmt.Fprintf(&b, "execution I/O: reads=%d writes=%d total=%d (mem hi-water %d tuples)\n",
+		r.Stats.Reads, r.Stats.Writes, r.Stats.IOs, r.Stats.MemHiWater)
+	fmt.Fprintf(&b, "planning I/O: %d (total incl. planning: %d)\n",
+		r.PlanningStats.IOs-r.Stats.IOs, r.PlanningStats.IOs)
+	if r.Prune.Started > 0 {
+		fmt.Fprintf(&b, "pruning: %d branches started, %d pruned, %d completed (%d I/Os charged before aborts)\n",
+			r.Prune.Started, r.Prune.Pruned, r.Prune.Completed, r.Prune.ChargedBeforeAbort)
+	}
+	for i, d := range r.Greedy {
+		fmt.Fprintf(&b, "greedy decision %d (structure %s), probe cost %d I/Os:\n%s",
+			i+1, d.Key, d.ProbeStats.IOs(), d.Rationale())
+	}
+	return b.String()
+}
+
 // String renders the explanation as a human-readable report.
 func (e *Explanation) String() string {
 	var b strings.Builder

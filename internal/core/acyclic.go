@@ -56,6 +56,14 @@ const (
 	// StrategySmallest peels the leaf with the smallest relation, a greedy
 	// heuristic.
 	StrategySmallest
+	// StrategyGreedy scores every peelable leaf at each decision point from
+	// information in hand — block counts, shared-attribute fan-out, and a
+	// bounded semijoin-shrinkage probe charged to the disk — and commits to
+	// the best-scoring branch without dry-running alternatives. Planning cost
+	// is the probe I/Os alone (TotalStats minus ExecStats); plan quality is
+	// graded against StrategyExhaustive by harness experiment E28. See
+	// greedy.go.
+	StrategyGreedy
 )
 
 func (s Strategy) String() string {
@@ -66,6 +74,8 @@ func (s Strategy) String() string {
 		return "smallest"
 	case StrategyExhaustive:
 		return "exhaustive"
+	case StrategyGreedy:
+		return "greedy"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -194,6 +204,12 @@ type Result struct {
 	// unreachable — the counter surfaces the defensive clamp instead of
 	// letting it hide, and the test suite asserts it stays zero.
 	ClampedChoices int64
+	// Greedy records, for StrategyGreedy only, every multi-leaf decision the
+	// planner scored: the candidates with their block counts, fan-outs,
+	// probed survival estimates and scores, and which one was chosen.
+	// Decisions are recorded once per subquery structure, in the order they
+	// were first encountered. Nil for every other strategy.
+	Greedy []GreedyDecision
 }
 
 // PruneStats is branch-and-bound telemetry for one exhaustive run.
@@ -250,6 +266,9 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options) (*R
 // runStrategy is Run's strategy dispatch, separated so Run can wrap it in a
 // single CatchAbort.
 func runStrategy(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
+	if opts.Strategy == StrategyGreedy {
+		return runGreedy(g, in, emit, opts, disk, res)
+	}
 	if opts.Strategy != StrategyExhaustive {
 		ex := &executor{
 			emit:    emit,
@@ -272,10 +291,105 @@ func runStrategy(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Opti
 		return res, nil
 	}
 
+	if branchFree(g, opts.DisableHeavySplit) {
+		return runExhaustiveSingle(g, in, emit, opts, disk, res)
+	}
 	if opts.Parallelism >= 1 {
 		return runExhaustiveParallel(g, in, emit, opts, disk, res)
 	}
 	return runExhaustiveSeq(g, in, emit, opts, disk, res)
+}
+
+// branchFree reports whether the exhaustive odometer over g can only ever
+// hold one branch: no reachable subquery structure offers more than one
+// peelable leaf. The walk mirrors the executor's structural order (first
+// bud, then first island, then leaf peeling into the heavy and light
+// residues) but follows BOTH residues unconditionally — which residues a
+// concrete run visits depends on the data, so this is a superset of the
+// reachable decision points and the answer true is always safe. Structures
+// are memoized by key, bounding the walk the same way the odometer's
+// decision map is bounded.
+func branchFree(g *hypergraph.Graph, disableSplit bool) bool {
+	seen := map[string]bool{}
+	var walk func(g *hypergraph.Graph) bool
+	walk = func(g *hypergraph.Graph) bool {
+		edges := g.Edges()
+		if len(edges) <= 1 {
+			return true
+		}
+		key := structureKey(g)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		for _, e := range edges {
+			if g.KindOf(e) == hypergraph.Bud {
+				return walk(g.Without([]int{e.ID}, nil))
+			}
+		}
+		for _, e := range edges {
+			if g.KindOf(e) == hypergraph.Island {
+				return walk(g.Without([]int{e.ID}, nil))
+			}
+		}
+		var leaf *hypergraph.Edge
+		for _, e := range edges {
+			if g.KindOf(e) == hypergraph.Leaf {
+				if leaf != nil {
+					return false // a real decision point: more than one leaf
+				}
+				leaf = e
+			}
+		}
+		if leaf == nil {
+			return false // no peelable edge: let the real run raise the error
+		}
+		v := g.LeafJoinAttr(leaf)
+		u := g.UniqueAttrs(leaf)
+		if !disableSplit {
+			gHeavy := g.Without([]int{leaf.ID}, append(append([]hypergraph.Attr{}, u...), v))
+			if !walk(gHeavy) {
+				return false
+			}
+		}
+		return walk(g.Without([]int{leaf.ID}, u))
+	}
+	return walk(g)
+}
+
+// runExhaustiveSingle is the single-branch short-circuit: when branchFree
+// proves the odometer would enumerate exactly one policy, the dry/wet split
+// and the budget-watermark machinery are pure overhead — the sole policy
+// runs once, directly, with emission. The recording chooser reproduces the
+// odometer's decision map (every decision point gets choice 0), so Policy
+// and the prune telemetry look exactly like a one-branch exhaustive run,
+// with TotalStats == ExecStats because no dry run ever happened.
+func runExhaustiveSingle(g *hypergraph.Graph, in relation.Instance, emit Emit, opts Options, disk *extmem.Disk, res *Result) (*Result, error) {
+	policy := map[string]int{}
+	ex := &executor{
+		emit:   emit,
+		opts:   opts,
+		nAttrs: g.MaxAttr() + 1,
+		chooser: func(_ *hypergraph.Graph, key string, _ []*hypergraph.Edge, _ relation.Instance) int {
+			policy[key] = 0
+			return 0
+		},
+	}
+	before := disk.Stats()
+	stopPeak := disk.StartMemPeak()
+	err := ex.run(g, in)
+	peak := stopPeak()
+	if err != nil {
+		return nil, err
+	}
+	res.Emitted = ex.emitted
+	res.ExecStats = disk.Stats().Sub(before)
+	res.ExecStats.MemHiWater = peak
+	res.TotalStats = res.ExecStats
+	res.Branches = 1
+	res.Prune = PruneStats{Started: 1, Completed: 1}
+	res.Policy = policy
+	return res, nil
 }
 
 // runExhaustiveSeq is the sequential reference path: an odometer over
@@ -367,7 +481,7 @@ func finishExhaustive(g *hypergraph.Graph, in relation.Instance, emit Emit, opts
 		emit:   emit,
 		opts:   opts,
 		nAttrs: g.MaxAttr() + 1,
-		chooser: func(key string, leaves []*hypergraph.Edge, in relation.Instance) int {
+		chooser: func(_ *hypergraph.Graph, key string, leaves []*hypergraph.Edge, in relation.Instance) int {
 			if d, ok := fixed[key]; ok {
 				if d < len(leaves) {
 					return d
@@ -403,12 +517,14 @@ func anyDisk(g *hypergraph.Graph, in relation.Instance) *extmem.Disk {
 	return nil
 }
 
-// chooser resolves the nondeterministic leaf choice: given the structure key
-// of the current subquery and its peelable leaves, return the index to peel.
-type chooser func(key string, leaves []*hypergraph.Edge, in relation.Instance) int
+// chooser resolves the nondeterministic leaf choice: given the current
+// subquery, its structure key, and its peelable leaves, return the index to
+// peel. The graph lets scoring choosers (StrategyGreedy) read structural
+// fan-out; static choosers ignore it.
+type chooser func(g *hypergraph.Graph, key string, leaves []*hypergraph.Edge, in relation.Instance) int
 
 func staticChooser(s Strategy) chooser {
-	return func(_ string, leaves []*hypergraph.Edge, in relation.Instance) int {
+	return func(_ *hypergraph.Graph, _ string, leaves []*hypergraph.Edge, in relation.Instance) int {
 		if s != StrategySmallest {
 			return 0
 		}
@@ -438,7 +554,7 @@ func newOdometer() *odometer {
 	return &odometer{decisions: map[string]int{}, radix: map[string]int{}}
 }
 
-func (o *odometer) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
+func (o *odometer) choose(_ *hypergraph.Graph, key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
 	if d, ok := o.decisions[key]; ok {
 		if d >= len(leaves) {
 			o.clamps++
@@ -649,7 +765,7 @@ func (x *executor) join(g *hypergraph.Graph, in relation.Instance, depth int, do
 	if len(leaves) == 0 {
 		return fmt.Errorf("core: no island, bud, or leaf in %v (cyclic?)", g)
 	}
-	pick := x.chooser(structureKey(g), leaves, in)
+	pick := x.chooser(g, structureKey(g), leaves, in)
 	e := leaves[pick]
 	v := g.LeafJoinAttr(e)
 	u := g.UniqueAttrs(e)

@@ -255,3 +255,4 @@ func FuzzBackendOracle(f *testing.F) {
 		}
 	})
 }
+

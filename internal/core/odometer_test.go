@@ -22,23 +22,23 @@ func leafSet(n int) []*hypergraph.Edge {
 
 func TestOdometerSingleDecision(t *testing.T) {
 	o := newOdometer()
-	if got := o.choose("k1", leafSet(3), nil); got != 0 {
+	if got := o.choose(nil, "k1", leafSet(3), nil); got != 0 {
 		t.Fatalf("first choice = %d", got)
 	}
 	// Re-asking the same key in the same run returns the same decision.
-	if got := o.choose("k1", leafSet(3), nil); got != 0 {
+	if got := o.choose(nil, "k1", leafSet(3), nil); got != 0 {
 		t.Fatalf("repeat choice = %d", got)
 	}
 	if !o.advance() {
 		t.Fatal("advance exhausted after first run")
 	}
-	if got := o.choose("k1", leafSet(3), nil); got != 1 {
+	if got := o.choose(nil, "k1", leafSet(3), nil); got != 1 {
 		t.Fatalf("second run choice = %d", got)
 	}
 	if !o.advance() {
 		t.Fatal("advance exhausted after second run")
 	}
-	if got := o.choose("k1", leafSet(3), nil); got != 2 {
+	if got := o.choose(nil, "k1", leafSet(3), nil); got != 2 {
 		t.Fatalf("third run choice = %d", got)
 	}
 	if o.advance() {
@@ -52,12 +52,12 @@ func TestOdometerDependentDecisions(t *testing.T) {
 	o := newOdometer()
 	var runs [][2]int
 	run := func() {
-		a := o.choose("k1", leafSet(2), nil)
+		a := o.choose(nil, "k1", leafSet(2), nil)
 		b := -1
 		if a == 0 {
-			b = o.choose("k2", leafSet(2), nil)
+			b = o.choose(nil, "k2", leafSet(2), nil)
 		} else {
-			b = o.choose("k3", leafSet(3), nil)
+			b = o.choose(nil, "k3", leafSet(3), nil)
 		}
 		runs = append(runs, [2]int{a, b})
 	}
@@ -82,10 +82,10 @@ func TestOdometerDependentDecisions(t *testing.T) {
 
 func TestOdometerSnapshotIsolated(t *testing.T) {
 	o := newOdometer()
-	o.choose("a", leafSet(2), nil)
+	o.choose(nil, "a", leafSet(2), nil)
 	snap := o.snapshot()
 	o.advance()
-	o.choose("a", leafSet(2), nil)
+	o.choose(nil, "a", leafSet(2), nil)
 	if snap["a"] != 0 {
 		t.Fatalf("snapshot mutated: %v", snap)
 	}

@@ -66,7 +66,7 @@ func newTrail(imposed map[string]int) *trail {
 // choose mirrors odometer.choose: the first encounter of a key fixes its
 // decision for the rest of the run; re-encounters (chunk iterations over the
 // same subquery structure) reuse it without creating a new decision point.
-func (t *trail) choose(key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
+func (t *trail) choose(_ *hypergraph.Graph, key string, leaves []*hypergraph.Edge, _ relation.Instance) int {
 	if i, ok := t.seen[key]; ok {
 		if t.choices[i] >= len(leaves) {
 			// Mirrors the odometer's clamp counter; see Result.ClampedChoices.

@@ -172,21 +172,21 @@ func TestParallelSingleBranch(t *testing.T) {
 
 func TestTrailChooseImposedMemoizedClamped(t *testing.T) {
 	tr := newTrail(map[string]int{"a": 2, "c": 9})
-	if c := tr.choose("a", leafSet(4), nil); c != 2 {
+	if c := tr.choose(nil, "a", leafSet(4), nil); c != 2 {
 		t.Errorf("imposed choice = %d, want 2", c)
 	}
-	if c := tr.choose("b", leafSet(3), nil); c != 0 {
+	if c := tr.choose(nil, "b", leafSet(3), nil); c != 0 {
 		t.Errorf("default choice = %d, want 0", c)
 	}
 	// Re-encounter reuses the recorded decision and adds no new point.
-	if c := tr.choose("a", leafSet(4), nil); c != 2 {
+	if c := tr.choose(nil, "a", leafSet(4), nil); c != 2 {
 		t.Errorf("memoized choice = %d, want 2", c)
 	}
 	if len(tr.keys) != 2 {
 		t.Errorf("decision points = %v, want [a b]", tr.keys)
 	}
 	// Imposed value beyond the radix clamps to the default leaf.
-	if c := tr.choose("c", leafSet(2), nil); c != 0 {
+	if c := tr.choose(nil, "c", leafSet(2), nil); c != 0 {
 		t.Errorf("clamped choice = %d, want 0", c)
 	}
 	want := map[string]int{"a": 2, "b": 0, "c": 0}

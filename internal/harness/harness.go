@@ -56,6 +56,14 @@ type Params struct {
 	// the ACYCLICJOIN_DATADIR environment variable, then the system temp
 	// directory with files unlinked at creation.
 	DataDir string
+	// Strategy, when non-empty, restricts the verification sweep to one
+	// peeling strategy ("exhaustive", "first", "smallest", "greedy") instead
+	// of sweeping them all — the hook that lets CI re-run the whole
+	// randomized suite under the greedy planner with zero code changes. An
+	// empty value falls back to the ACYCLICJOIN_STRATEGY environment
+	// variable, then to the full sweep. Experiments pin their strategies
+	// per measurement and ignore this knob.
+	Strategy string
 }
 
 // WithDefaults fills zero fields.
@@ -77,6 +85,9 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.DataDir == "" {
 		p.DataDir = os.Getenv("ACYCLICJOIN_DATADIR")
+	}
+	if p.Strategy == "" {
+		p.Strategy = os.Getenv("ACYCLICJOIN_STRATEGY")
 	}
 	return p
 }

@@ -5,13 +5,14 @@ import (
 	"strings"
 	"testing"
 
+	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/opcache"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27"}
+		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28"}
 	for _, id := range want {
 		if Get(id) == nil {
 			t.Errorf("experiment %s not registered", id)
@@ -121,6 +122,62 @@ func TestVerifySweep(t *testing.T) {
 	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// A scoped sweep (Params.Strategy set) must restrict the matrix to the named
+// strategy's arms and reject unknown names; the scoped sweep still passes
+// against the oracle.
+func TestVerifySweepScoped(t *testing.T) {
+	sweep, variant, err := strategySweep(Params{Strategy: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 1 || sweep[0].Strategy != core.StrategyGreedy || variant != core.StrategyGreedy {
+		t.Fatalf("greedy sweep = %+v, variant %v", sweep, variant)
+	}
+	if sweep, _, err = strategySweep(Params{Strategy: "exhaustive"}); err != nil || len(sweep) != 3 {
+		t.Fatalf("exhaustive sweep = %+v, err %v", sweep, err)
+	}
+	if _, _, err = strategySweep(Params{Strategy: "bogus"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := VerifySweep(Params{Seed: 2, Strategy: "greedy"}, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// E28's acceptance thresholds, checked at test scale on every multi-branch
+// memo workload: greedy planning I/Os at most 10% of the exhaustive dry-run
+// sweep's, and a plan within 1.5x of the oracle's best branch. (Row equality
+// is enforced inside runE28 itself — a mismatch is an error, not a cell.)
+func TestE28Thresholds(t *testing.T) {
+	p := Params{Seed: 1}.WithDefaults()
+	for w := range memoWorkloads {
+		gr, err := runGreedyArm(p, w, core.StrategyGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := runGreedyArm(p, w, core.StrategyExhaustive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.res.Branches < 2 {
+			t.Fatalf("%s: expected a multi-branch workload, oracle explored %d",
+				memoWorkloads[w].name, ex.res.Branches)
+		}
+		planG, planE := planningIOs(gr.res), planningIOs(ex.res)
+		if planG*10 > planE {
+			t.Errorf("%s: greedy planning %d I/Os > 10%% of exhaustive %d",
+				memoWorkloads[w].name, planG, planE)
+		}
+		if g, b := gr.res.ExecStats.IOs(), ex.res.ExecStats.IOs(); float64(g) > 1.5*float64(b) {
+			t.Errorf("%s: plan quality %d/%d exceeds 1.5x", memoWorkloads[w].name, g, b)
+		}
+		if gr.rows != ex.rows || gr.fp != ex.fp {
+			t.Errorf("%s: rows diverge: %d (fp %x) vs %d (fp %x)",
+				memoWorkloads[w].name, gr.rows, gr.fp, ex.rows, ex.fp)
+		}
 	}
 }
 

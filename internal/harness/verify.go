@@ -21,8 +21,12 @@ import (
 func VerifySweep(p Params, trials int) (*Table, error) {
 	p = p.WithDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
+	scope := "all strategies"
+	if p.Strategy != "" {
+		scope = "strategy " + p.Strategy
+	}
 	t := &Table{
-		Title:  fmt.Sprintf("verify: %d random instances per configuration, all strategies vs oracle", trials),
+		Title:  fmt.Sprintf("verify: %d random instances per configuration, %s vs oracle", trials, scope),
 		Header: []string{"configuration", "trials", "mismatches", "max |Q(R)|"},
 	}
 	configs := []struct {
@@ -62,13 +66,11 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 			}
 			// All strategies on the raw instance, including the concurrent
 			// exhaustive path (which must match the sequential one exactly).
-			for _, o := range []core.Options{
-				{Strategy: core.StrategyFirst},
-				{Strategy: core.StrategySmallest},
-				{Strategy: core.StrategyExhaustive},
-				{Strategy: core.StrategyExhaustive, NoPrune: true},
-				{Strategy: core.StrategyExhaustive, Parallelism: 4},
-			} {
+			sweep, variant, err := strategySweep(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range sweep {
 				got, err := runSet(g, in, o)
 				if err != nil {
 					return nil, fmt.Errorf("%s trial %d strategy %v (parallelism %d): %w", cfg.name, trial, o.Strategy, o.Parallelism, err)
@@ -78,7 +80,7 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 				}
 			}
 			// Ablation variant.
-			got, err := runSet(g, in, core.Options{Strategy: core.StrategySmallest, DisableHeavySplit: true})
+			got, err := runSet(g, in, core.Options{Strategy: variant, DisableHeavySplit: true})
 			if err != nil {
 				return nil, err
 			}
@@ -94,7 +96,7 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 				var lines []string
 				_, err := core.RunLine(g, red, func(a tuple.Assignment) {
 					lines = append(lines, a.String())
-				}, core.Options{Strategy: core.StrategySmallest, AssumeReduced: true})
+				}, core.Options{Strategy: variant, AssumeReduced: true})
 				if err != nil {
 					return nil, err
 				}
@@ -108,6 +110,46 @@ func VerifySweep(p Params, trials int) (*Table, error) {
 	}
 	t.Notes = append(t.Notes, "a non-zero mismatch count aborts with an error; this table printing means every check passed")
 	return t, nil
+}
+
+// strategySweep is the option matrix VerifySweep runs per trial, plus the
+// strategy its ablation/dispatcher variants use. Empty Params.Strategy
+// sweeps everything (variants on StrategySmallest, as always); a named
+// strategy restricts the sweep and the variants to that strategy's arms,
+// which is how CI re-runs the whole randomized suite under one planner
+// (e.g. ACYCLICJOIN_STRATEGY=greedy) with no code changes.
+func strategySweep(p Params) ([]core.Options, core.Strategy, error) {
+	all := []core.Options{
+		{Strategy: core.StrategyFirst},
+		{Strategy: core.StrategySmallest},
+		{Strategy: core.StrategyGreedy},
+		{Strategy: core.StrategyExhaustive},
+		{Strategy: core.StrategyExhaustive, NoPrune: true},
+		{Strategy: core.StrategyExhaustive, Parallelism: 4},
+	}
+	if p.Strategy == "" {
+		return all, core.StrategySmallest, nil
+	}
+	var want core.Strategy
+	switch p.Strategy {
+	case "exhaustive":
+		want = core.StrategyExhaustive
+	case "first":
+		want = core.StrategyFirst
+	case "smallest":
+		want = core.StrategySmallest
+	case "greedy":
+		want = core.StrategyGreedy
+	default:
+		return nil, 0, fmt.Errorf("harness: unknown strategy %q (want exhaustive, first, smallest, or greedy)", p.Strategy)
+	}
+	var out []core.Options
+	for _, o := range all {
+		if o.Strategy == want {
+			out = append(out, o)
+		}
+	}
+	return out, want, nil
 }
 
 func oracleSet(g *hypergraph.Graph, in relation.Instance) ([]string, error) {

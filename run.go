@@ -27,7 +27,33 @@ const (
 	StrategyFirst = core.StrategyFirst
 	// StrategySmallest greedily peels the leaf with the smallest relation.
 	StrategySmallest = core.StrategySmallest
+	// StrategyGreedy scores every peelable leaf at each decision point —
+	// block counts, hypergraph fan-out, and a bounded semijoin-shrinkage
+	// probe charged to PlanningStats — and commits to the best branch
+	// without dry-running alternatives. Planning cost is the probe I/Os
+	// (PlanningStats − Stats); Result.Greedy records the per-choice score
+	// rationale, rendered by Result.ExplainString. StrategyExhaustive is
+	// the offline oracle that grades the greedy plan (experiment E28).
+	StrategyGreedy = core.StrategyGreedy
 )
+
+// ParseStrategy maps a strategy name ("exhaustive", "first", "smallest",
+// "greedy") to its Strategy value; used by the CLIs and the harness to
+// thread the -strategy flag and the ACYCLICJOIN_STRATEGY environment
+// variable.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "exhaustive":
+		return StrategyExhaustive, nil
+	case "first":
+		return StrategyFirst, nil
+	case "smallest":
+		return StrategySmallest, nil
+	case "greedy":
+		return StrategyGreedy, nil
+	}
+	return StrategyExhaustive, fmt.Errorf("acyclicjoin: unknown strategy %q (want exhaustive, first, smallest, or greedy)", name)
+}
 
 // Options configures a Run.
 type Options struct {
@@ -36,6 +62,9 @@ type Options struct {
 	// Block is B, the block size in tuples. Default 64.
 	Block int
 	// Strategy resolves the nondeterministic peeling. Default exhaustive.
+	// The CLIs (joinrun/joinbench) and the harness additionally honor the
+	// ACYCLICJOIN_STRATEGY environment variable when no -strategy flag is
+	// given; see ParseStrategy.
 	Strategy Strategy
 	// SkipReduce skips the Yannakakis full reduction preprocessing. The
 	// result is still correct, but the optimality guarantees assume fully
@@ -217,6 +246,12 @@ type Result struct {
 	// re-charged by retries, and the simulated backoff cost. All zero when
 	// no plan was attached or the plan never fired.
 	Faults FaultStats
+	// Greedy records, for StrategyGreedy, every multi-leaf decision the
+	// planner scored: candidates with block counts, fan-outs, probed
+	// survival estimates and scores, and the chosen branch, in first-
+	// encounter order. ExplainString renders it; nil for other strategies
+	// and for line queries routed through the Section 6 dispatcher.
+	Greedy []GreedyDecision
 	// Backend names the storage engine the run executed on ("sim" or
 	// "file").
 	Backend string
@@ -244,6 +279,13 @@ type DeviceStats = extmem.DeviceStats
 
 // PruneStats is the branch-and-bound telemetry of the exhaustive planner.
 type PruneStats = core.PruneStats
+
+// GreedyDecision is one scored decision point of a StrategyGreedy run; see
+// the core package for field semantics.
+type GreedyDecision = core.GreedyDecision
+
+// GreedyScore is one candidate's scoring record within a GreedyDecision.
+type GreedyScore = core.GreedyScore
 
 // SortCacheStats is the former name of MemoStats.
 //
@@ -375,6 +417,7 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 		res.Branches = r.Branches
 		res.Prune = r.Prune
 		res.ClampedChoices = r.ClampedChoices
+		res.Greedy = r.Greedy
 		// Execution stats: reduction + winning branch. Planning adds the
 		// dry runs.
 		exec := r.ExecStats
