@@ -70,6 +70,7 @@ func BenchmarkE25PruningAB(b *testing.B)           { benchExperiment(b, "E25", b
 func BenchmarkE26ChaosSweep(b *testing.B)          { benchExperiment(b, "E26", benchParams) }
 func BenchmarkE27BackendDifferential(b *testing.B) { benchExperiment(b, "E27", benchParams) }
 func BenchmarkE28GreedyPlanner(b *testing.B)       { benchExperiment(b, "E28", benchParams) }
+func BenchmarkE29ShardParallel(b *testing.B)       { benchExperiment(b, "E29", benchParams) }
 
 // BenchmarkPublicAPIRun measures the end-to-end public API on a skewed
 // 3-hop path query, reporting simulated I/Os per operation.

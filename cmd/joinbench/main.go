@@ -1,16 +1,16 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E28, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E29, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
 //	          [-opcache=false] [-prune=false] [-backend file] [-strategy greedy]
-//	          [-timeout 10m]
+//	          [-shards 4] [-timeout 10m]
 //	          [-benchjson BENCH_opcache.json] [-prunejson BENCH_prune.json]
 //	          [-chaosjson BENCH_chaos.json] [-backendjson BENCH_backend.json]
-//	          [-greedyjson BENCH_greedy.json]
+//	          [-greedyjson BENCH_greedy.json] [-shardjson BENCH_shards.json]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -35,11 +35,12 @@ type config struct {
 	m, b, scale                     int
 	seed                            int64
 	list                            bool
-	verify, par                     int
+	verify, par, shards             int
 	opcache, sortcache, prune       bool
 	backend, datadir, strategy      string
 	benchjson, prunejson, chaosjson string
 	backendjson, greedyjson         string
+	shardjson                       string
 	cpuprof, memprof                string
 }
 
@@ -63,6 +64,8 @@ func main() {
 	flag.StringVar(&c.datadir, "datadir", "", "directory for the file backend's backing files (default $ACYCLICJOIN_DATADIR, then unlinked temp files)")
 	flag.StringVar(&c.backendjson, "backendjson", "", "write the machine-readable backend differential benchmark (sim vs file: transfer parity, bit-identity, device telemetry, wall-clock) to this file and exit")
 	flag.StringVar(&c.greedyjson, "greedyjson", "", "write the machine-readable greedy-planner benchmark (planning I/Os vs the exhaustive sweep, plan-quality ratio, wall-clock) to this file and exit")
+	flag.StringVar(&c.shardjson, "shardjson", "", "write the machine-readable sharding benchmark (load vs the instance-optimal bound, heavy-hitter effect, wall-clock speedup on the file backend) to this file and exit")
+	flag.IntVar(&c.shards, "shards", 0, "add a shard-parallel differential arm at this many simulated MPC servers to the -verify sweep; 0 falls back to $ACYCLICJOIN_SHARDS, then 1 (no shard arm); experiments pin their shard counts and ignore this")
 	flag.StringVar(&c.strategy, "strategy", "", "restrict the -verify sweep to one peeling strategy: exhaustive, first, smallest, or greedy; empty falls back to $ACYCLICJOIN_STRATEGY, then the full sweep")
 	flag.StringVar(&c.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprof, "memprofile", "", "write a heap profile to this file on exit")
@@ -133,7 +136,7 @@ func run(ctx context.Context, c config) int {
 
 	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
 		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune,
-		Backend: c.backend, DataDir: c.datadir, Strategy: c.strategy}
+		Backend: c.backend, DataDir: c.datadir, Strategy: c.strategy, Shards: c.shards}
 
 	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
@@ -197,10 +200,28 @@ func run(ctx context.Context, c config) int {
 			return 1
 		}
 		for _, w := range res.Workloads {
-			fmt.Printf("%-17s wall file/sim = %.2fms/%.2fms (%.1fx)  IOs %d parity=%v identical=%v  preads=%d pwrites=%d cache hits=%d prefetched=%d\n",
+			fmt.Printf("%-17s wall file/sim = %.2fms/%.2fms (%.1fx)  IOs %d parity=%v identical=%v  preads=%d pwrites=%d cache hits=%d prefetched=%d (hit %d, wasted %d) evictions=%d\n",
 				w.Name, float64(w.WallNanosFile)/1e6, float64(w.WallNanosSim)/1e6,
 				w.Slowdown, w.IOs, w.Parity, w.Identical,
-				w.ReadCalls, w.WriteCalls, w.CacheHits, w.Prefetched)
+				w.ReadCalls, w.WriteCalls, w.CacheHits, w.Prefetched,
+				w.PrefetchHits, w.PrefetchWasted, w.Evictions)
+		}
+		return 0
+	}
+
+	if c.shardjson != "" {
+		res, err := harness.ShardBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard bench: %v\n", err)
+			return 1
+		}
+		if writeJSON(c.shardjson, res, "shard bench") != nil {
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s shards=%d rows=%d maxload=%d bound=%d (%.2fx) repl=%.2fx heavy=%d  wall=%.2fms vs 1-shard %.2fms (%.2fx)  identical=%v\n",
+				w.Name, w.Shards, w.Rows, w.MaxLoad, w.Bound, w.LoadRatio, w.Replication,
+				w.HeavyValues, float64(w.WallNanos)/1e6, float64(w.WallNanosBase)/1e6, w.Speedup, w.Identical)
 		}
 		return 0
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -32,6 +33,55 @@ func captureRun(t *testing.T, exp string, opcache, sortcache, prune bool) string
 		t.Fatalf("run(%s) exited %d:\n%s", exp, code, buf.String())
 	}
 	return buf.String()
+}
+
+// captureVerify invokes run as a -verify sweep with the given -shards and
+// -strategy flag values, returning the rendered table.
+func captureVerify(t *testing.T, shards int, strategy string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(context.Background(), config{
+		m: 64, b: 8, scale: 1, seed: 42, par: 1, verify: 1,
+		shards: shards, strategy: strategy,
+		opcache: true, sortcache: true, prune: true,
+	})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("run(-verify 1 -shards %d) exited %d:\n%s", shards, code, buf.String())
+	}
+	return buf.String()
+}
+
+// The -shards and -strategy flags resolve against $ACYCLICJOIN_SHARDS and
+// $ACYCLICJOIN_STRATEGY with flag-beats-env precedence, and the resolved
+// values surface in the verify sweep's scope line.
+func TestVerifyShardAndStrategyEnvPrecedence(t *testing.T) {
+	t.Setenv("ACYCLICJOIN_SHARDS", "")
+	t.Setenv("ACYCLICJOIN_STRATEGY", "")
+	if out := captureVerify(t, 0, ""); strings.Contains(out, "shard arm") {
+		t.Errorf("unset shards still added a shard arm:\n%s", out)
+	}
+	if out := captureVerify(t, 2, "smallest"); !strings.Contains(out, "strategy smallest + 2-shard arm") {
+		t.Errorf("flags not honored:\n%s", out)
+	}
+	t.Setenv("ACYCLICJOIN_SHARDS", "3")
+	t.Setenv("ACYCLICJOIN_STRATEGY", "first")
+	if out := captureVerify(t, 0, ""); !strings.Contains(out, "strategy first + 3-shard arm") {
+		t.Errorf("env fallback not honored:\n%s", out)
+	}
+	if out := captureVerify(t, 2, "smallest"); !strings.Contains(out, "strategy smallest + 2-shard arm") {
+		t.Errorf("flags must beat the environment:\n%s", out)
+	}
 }
 
 // The -opcache/-sortcache alias pair and -prune all carry a byte-identity

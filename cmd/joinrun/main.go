@@ -39,6 +39,7 @@ func main() {
 		faultSeed = flag.Int64("faultseed", 1, "seed for the injected fault schedule")
 		backend   = flag.String("backend", "", "storage engine: sim (counting simulator, default) or file (real os.File-backed disk with block cache; results and I/O figures are bit-identical, charged transfers are physically executed and verified); empty falls back to $ACYCLICJOIN_BACKEND")
 		datadir   = flag.String("datadir", "", "directory for the file backend's backing file (default $ACYCLICJOIN_DATADIR, then an unlinked temp file)")
+		shards    = flag.Int("shards", 0, "execute across this many simulated MPC servers, hash-sharding the input with heavy-hitter splitting (the result multiset is identical at any count; row order is server-major); 0 falls back to $ACYCLICJOIN_SHARDS, then 1 (unsharded)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -75,15 +76,11 @@ func main() {
 	}
 
 	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par, NoPrune: !*prune,
-		Backend: *backend, DataDir: *datadir}
+		Backend: *backend, DataDir: *datadir, Shards: *shards}
 	if *faultRate > 0 {
 		opts.Faults = &acyclicjoin.FaultPlan{Seed: *faultSeed, TransientRate: *faultRate}
 	}
-	name := *strat
-	if name == "" {
-		name = os.Getenv("ACYCLICJOIN_STRATEGY")
-	}
-	opts.Strategy, err = acyclicjoin.ParseStrategy(name)
+	opts.Strategy, err = acyclicjoin.ParseStrategy(cli.StrategyName(*strat))
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -127,10 +124,16 @@ func main() {
 		res.Count, res.Plan, res.Stats.Reads, res.Stats.Writes, res.Stats.IOs, *m, *b, res.Stats.MemHiWater)
 	if res.Backend != "sim" {
 		d := res.Device
-		fmt.Fprintf(os.Stderr, "backend: %s (transfers: reads=%d writes=%d replayed=%d; device: preads=%d pwrites=%d cache hits=%d prefetched=%d)\n",
+		fmt.Fprintf(os.Stderr, "backend: %s (transfers: reads=%d writes=%d replayed=%d; device: preads=%d pwrites=%d cache hits=%d prefetched=%d (hit %d, wasted %d) evictions=%d)\n",
 			res.Backend, res.Transfers.Reads, res.Transfers.Writes,
 			res.Transfers.ReplayedReads+res.Transfers.ReplayedWrites,
-			d.ReadCalls, d.WriteCalls, d.CacheHits, d.Prefetched)
+			d.ReadCalls, d.WriteCalls, d.CacheHits, d.Prefetched,
+			d.PrefetchHits, d.PrefetchWasted, d.Evictions)
+	}
+	if s := res.Shards; s != nil && len(s.Rounds) > 0 {
+		d := s.Rounds[0]
+		fmt.Fprintf(os.Stderr, "shards: %d servers, max load %d vs bound %d (%.2fx), replication %.2fx, %d heavy values split\n",
+			s.Shards, d.Max(), d.Bound, d.Ratio(), s.Replication, s.HeavyValues)
 	}
 	if res.Faults.Any() {
 		fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)

@@ -182,8 +182,11 @@ func TestCrossStrategyGreedyDifferential(t *testing.T) {
 				inst := q.NewInstance()
 				fillRandom(rng, q, inst, trial%4 == 0)
 				var gotG []string
+				// Pinned unsharded: the branch counts and planning-I/O
+				// comparisons below are per-planner figures that a sharded
+				// run aggregates across servers.
 				gr, err := Run(q, inst, Options{Memory: 64, Block: 8, Strategy: StrategyGreedy,
-					Backend: backend}, func(row Row) {
+					Backend: backend, Shards: 1}, func(row Row) {
 					gotG = append(gotG, canonRow(q, row))
 				})
 				if err != nil {
@@ -199,7 +202,7 @@ func TestCrossStrategyGreedyDifferential(t *testing.T) {
 				for _, workers := range []int{0, 2, 4} {
 					var gotE []string
 					ex, err := Run(q, inst, Options{Memory: 64, Block: 8, Strategy: StrategyExhaustive,
-						Parallelism: workers, Backend: backend}, func(row Row) {
+						Parallelism: workers, Backend: backend, Shards: 1}, func(row Row) {
 						gotE = append(gotE, canonRow(q, row))
 					})
 					if err != nil {

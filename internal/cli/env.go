@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Environment variables honored when the corresponding flag or Options field
+// is left unset. A flag always wins over its environment variable.
+const (
+	// EnvStrategy selects the planning strategy (see acyclicjoin.ParseStrategy).
+	EnvStrategy = "ACYCLICJOIN_STRATEGY"
+	// EnvBackend selects the storage engine ("sim" or "file").
+	EnvBackend = "ACYCLICJOIN_BACKEND"
+	// EnvDataDir locates the file backend's backing file.
+	EnvDataDir = "ACYCLICJOIN_DATADIR"
+	// EnvShards sets the MPC server count for shard-parallel execution.
+	EnvShards = "ACYCLICJOIN_SHARDS"
+)
+
+// StrategyName resolves a -strategy selection: the flag value when nonempty,
+// else $ACYCLICJOIN_STRATEGY (possibly empty, meaning the default strategy).
+func StrategyName(flag string) string { return stringOr(flag, EnvStrategy) }
+
+// BackendName resolves a -backend selection: the flag value when nonempty,
+// else $ACYCLICJOIN_BACKEND (possibly empty, meaning the sim backend).
+func BackendName(flag string) string { return stringOr(flag, EnvBackend) }
+
+// DataDir resolves a -datadir selection: the flag value when nonempty, else
+// $ACYCLICJOIN_DATADIR (possibly empty, meaning the system temp directory).
+func DataDir(flag string) string { return stringOr(flag, EnvDataDir) }
+
+func stringOr(flag, env string) string {
+	if flag != "" {
+		return flag
+	}
+	return os.Getenv(env)
+}
+
+// Shards resolves a -shards selection: the flag value when nonzero, else
+// $ACYCLICJOIN_SHARDS, else 1 (unsharded). The flag value passes through
+// untouched — the library range-checks it — but an environment value that is
+// set must parse as a positive integer. Errors carry no package prefix so
+// callers can wrap them under their own name.
+func Shards(flag int) (int, error) {
+	if flag != 0 {
+		return flag, nil
+	}
+	s := os.Getenv(EnvShards)
+	if s == "" {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad %s=%q (want a positive integer)", EnvShards, s)
+	}
+	return n, nil
+}

@@ -119,13 +119,20 @@ type DeviceStats struct {
 	ReadCalls   int64
 	WriteCalls  int64
 	// Prefetched counts frames fetched ahead of a detected sequential scan
-	// (included in BlockReads); Backfills counts frames or frame tails
-	// rebuilt from the in-memory image; Evictions and Flushes count cache
-	// evictions and dirty-batch drains.
-	Prefetched int64
-	Backfills  int64
-	Evictions  int64
-	Flushes    int64
+	// (included in BlockReads). Each prefetched frame later resolves one way:
+	// PrefetchHits counts frames a billed read found still cached (the
+	// read-ahead paid off), PrefetchWasted counts frames evicted or
+	// overwritten before any read touched them. Frames still cached and
+	// untouched are pending, so Prefetched >= PrefetchHits + PrefetchWasted.
+	Prefetched     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	// Backfills counts frames or frame tails rebuilt from the in-memory
+	// image; Evictions and Flushes count cache evictions and dirty-batch
+	// drains.
+	Backfills int64
+	Evictions int64
+	Flushes   int64
 	// VerifiedCells counts cells byte-compared against the image on billed
 	// reads — the always-on torn-block check.
 	VerifiedCells int64

@@ -72,11 +72,14 @@ type frameKey struct {
 
 // frame is one cached block: the current contents of tuples
 // [idx*B, (idx+1)*B) of its file, possibly ahead of the device copy (dirty).
+// prefetched marks a frame brought in by read-ahead that no demand read has
+// touched yet; its resolution feeds the PrefetchHits/PrefetchWasted telemetry.
 type frame struct {
-	key   frameKey
-	cells []int64
-	dirty bool
-	elem  *list.Element
+	key        frameKey
+	cells      []int64
+	dirty      bool
+	prefetched bool
+	elem       *list.Element
 }
 
 // Open creates a file-backed engine for the given machine configuration. The
@@ -189,6 +192,12 @@ func (e *Engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
 			fr = e.insertFrame(frameKey{phys, k})
 		} else {
 			e.lru.MoveToFront(fr.elem)
+			if fr.prefetched {
+				// Overwritten before any read touched it: the read-ahead
+				// fetched a frame whose contents were never used.
+				fr.prefetched = false
+				e.stats.PrefetchWasted++
+			}
 		}
 		fr.cells = append(fr.cells[:0], cells[:n]...)
 		if !fr.dirty {
@@ -227,6 +236,10 @@ func (e *Engine) ReadRange(phys uint64, off int, want []int64) {
 		switch {
 		case fr != nil:
 			e.lru.MoveToFront(fr.elem)
+			if fr.prefetched {
+				fr.prefetched = false
+				e.stats.PrefetchHits++
+			}
 		case k < len(pf.offs) && pf.offs[k] >= 0 && pf.devCells[k] > 0:
 			fr = e.fetchFrame(pf, phys, k)
 			if served == "cache" {
@@ -375,6 +388,10 @@ func (e *Engine) insertFrame(key frameKey) *frame {
 }
 
 func (e *Engine) dropFrame(fr *frame) {
+	if fr.prefetched {
+		fr.prefetched = false
+		e.stats.PrefetchWasted++
+	}
 	e.lru.Remove(fr.elem)
 	delete(e.cache, fr.key)
 	delete(e.dirty, fr.key)
@@ -414,10 +431,8 @@ func (e *Engine) prefetch(pf *pfile, phys uint64, from int) {
 			continue
 		}
 		fr := e.fetchFrame(pf, phys, k)
+		fr.prefetched = true
 		e.stats.Prefetched++
-		// Keep prefetched frames from evicting the scan's own working set:
-		// they sit where demand would shortly move them anyway (front).
-		_ = fr
 	}
 }
 

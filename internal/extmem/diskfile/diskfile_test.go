@@ -112,6 +112,34 @@ func TestPrefetchOnSequentialScan(t *testing.T) {
 	if ds.CacheHits == 0 {
 		t.Fatalf("prefetched frames produced no cache hits: %+v", ds)
 	}
+	// A straight scan consumes what the read-ahead fetched: every prefetched
+	// frame resolves as a hit, none as waste.
+	if ds.PrefetchHits == 0 {
+		t.Fatalf("prefetched frames were never demand-read: %+v", ds)
+	}
+	if ds.PrefetchWasted != 0 {
+		t.Fatalf("straight scan wasted %d prefetched frames: %+v", ds.PrefetchWasted, ds)
+	}
+	if ds.PrefetchHits+ds.PrefetchWasted > ds.Prefetched {
+		t.Fatalf("prefetch resolutions exceed fetches: %+v", ds)
+	}
+
+	// A scan of f's start followed by a large unrelated write leaves the
+	// frames read ahead of the abandoned scan to be evicted untouched.
+	r2 := f.NewReader()
+	for i := 0; i < 3*cfg.B; i++ {
+		r2.Next()
+	}
+	before := eng.DeviceStats()
+	if before.Prefetched <= before.PrefetchHits+before.PrefetchWasted {
+		t.Fatalf("partial scan left no pending prefetched frame: %+v", before)
+	}
+	h := d.NewFile(2)
+	fill(h, 64*cfg.B, 5)
+	after := eng.DeviceStats()
+	if after.PrefetchWasted <= before.PrefetchWasted {
+		t.Fatalf("abandoned scan's read-ahead never resolved as waste: %+v -> %+v", before, after)
+	}
 	assertParity(t, d)
 }
 

@@ -161,6 +161,9 @@ type BackendBenchRow struct {
 	WriteCalls     int64
 	CacheHits      int64
 	Prefetched     int64
+	PrefetchHits   int64 // prefetched frames a demand read found still cached
+	PrefetchWasted int64 // prefetched frames evicted or overwritten untouched
+	Evictions      int64
 	VerifiedCells  int64
 	Parity         bool // stats == transfers on both backends; engine billed == performed
 	Identical      bool // rows, policy, exec stats, full stats, ledger bit-identical
@@ -191,6 +194,8 @@ func BackendBench(p Params) (*BackendBenchResult, error) {
 			ReplayedReads: file.xfer.ReplayedReads, ReplayedWrites: file.xfer.ReplayedWrites,
 			ReadCalls: file.dev.ReadCalls, WriteCalls: file.dev.WriteCalls,
 			CacheHits: file.dev.CacheHits, Prefetched: file.dev.Prefetched,
+			PrefetchHits: file.dev.PrefetchHits, PrefetchWasted: file.dev.PrefetchWasted,
+			Evictions:     file.dev.Evictions,
 			VerifiedCells: file.dev.VerifiedCells,
 			Parity:        cmpErr == nil,
 			Identical:     cmpErr == nil,

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+)
+
+// fuzzShapes are the query families the fuzzer draws from; they cover the
+// hash-partitioned path, anchor mode (no join attribute), and a disconnected
+// component that must be broadcast.
+var fuzzShapes = []func() *hypergraph.Graph{
+	func() *hypergraph.Graph { return hypergraph.Line(2) },
+	func() *hypergraph.Graph { return hypergraph.Line(3) },
+	func() *hypergraph.Graph { return hypergraph.StarQuery(2) },
+	func() *hypergraph.Graph { return hypergraph.Lollipop(3) },
+	func() *hypergraph.Graph {
+		return hypergraph.MustNew([]*hypergraph.Edge{{ID: 0, Name: "R", Attrs: []int{0, 1}}})
+	},
+	func() *hypergraph.Graph {
+		return hypergraph.MustNew([]*hypergraph.Edge{
+			{ID: 0, Name: "R", Attrs: []int{0, 1}},
+			{ID: 1, Name: "S", Attrs: []int{1, 2}},
+			{ID: 2, Name: "T", Attrs: []int{3, 4}},
+		})
+	},
+}
+
+// FuzzShardOracle is the randomized tentpole differential: any (query shape,
+// instance, shard count, splitting mode) must emit exactly the unsharded
+// multiset. The fuzzer owns the workload generator — `skew` concentrates a
+// slice of each relation on one join value so the heavy-hitter path is
+// exercised, and `noSplit` flips it off again.
+func FuzzShardOracle(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(2), uint8(30), uint8(6), uint8(0), false)
+	f.Add(int64(2), uint8(1), uint8(4), uint8(24), uint8(5), uint8(12), false)
+	f.Add(int64(3), uint8(2), uint8(8), uint8(20), uint8(4), uint8(0), true)
+	f.Add(int64(4), uint8(3), uint8(3), uint8(16), uint8(8), uint8(8), false)
+	f.Add(int64(5), uint8(4), uint8(5), uint8(40), uint8(10), uint8(0), false)
+	f.Add(int64(6), uint8(5), uint8(4), uint8(12), uint8(3), uint8(6), true)
+	f.Fuzz(func(t *testing.T, seed int64, shape, shards, nRows, dom, skew uint8, noSplit bool) {
+		g := fuzzShapes[int(shape)%len(fuzzShapes)]()
+		p := int(shards)%8 + 1
+		// Worst case (all tuples identical, e.g. dom clamped to 1) the output
+		// is n^edges rows; cap n so every input terminates fast.
+		maxN := []int{300, 300, 46, 17, 10}[min(len(g.Edges()), 5)-1]
+		n := int(nRows)%maxN + 1
+		d := int(dom)%12 + 1
+		heavy := int(skew) % (n + 1) // first `heavy` tuples share join value 0
+
+		rng := rand.New(rand.NewSource(seed))
+		rows := uniformRows(g, rng, n, d)
+		for _, e := range g.Edges() {
+			for i := 0; i < heavy; i++ {
+				for j, a := range e.Attrs {
+					if a == 1 {
+						rows[e.ID][i][j] = 0
+					}
+				}
+			}
+		}
+
+		refDisk := extmem.NewDisk(testCfg)
+		refIn := buildInstance(refDisk, g, rows)
+		var ref fingerprint
+		if _, err := core.Run(g, refIn, ref.add, core.Options{}); err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+
+		shardDisk := extmem.NewDisk(testCfg)
+		shardIn := buildInstance(shardDisk, g, rows)
+		var got fingerprint
+		res, err := Run(g, shardIn, got.add, Options{Shards: p, NoHeavySplit: noSplit})
+		if err != nil {
+			t.Fatalf("sharded run (p=%d): %v", p, err)
+		}
+		if live := shardDisk.LiveChildren(); live != 0 {
+			t.Fatalf("p=%d: %d child disks alive after run", p, live)
+		}
+		if got != ref {
+			t.Fatalf("p=%d nosplit=%v: rows %d fp %x, want rows %d fp %x",
+				p, noSplit, got.rows, got.fp, ref.rows, ref.fp)
+		}
+		if res.Emitted != ref.rows {
+			t.Fatalf("p=%d: Emitted=%d, want %d", p, res.Emitted, ref.rows)
+		}
+		if tot := res.Load.Rounds[0].Total(); tot < res.Load.InputTuples {
+			t.Fatalf("p=%d: distributed %d tuples < input %d", p, tot, res.Load.InputTuples)
+		}
+	})
+}

@@ -3,14 +3,15 @@ package acyclicjoin
 import (
 	"context"
 	"fmt"
-	"os"
 
+	"acyclicjoin/internal/cli"
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/extmem/diskfile"
 	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/reducer"
 	"acyclicjoin/internal/relation"
+	"acyclicjoin/internal/shard"
 	"acyclicjoin/internal/tuple"
 )
 
@@ -134,6 +135,21 @@ type Options struct {
 	// lives only as an open descriptor and is reclaimed even on a crash).
 	// Ignored by the sim backend.
 	DataDir string
+	// Shards is p, the number of simulated MPC servers the join executes
+	// across (internal/shard): after the full reduction the input is
+	// hash-partitioned on a join attribute — heavy hitters split across
+	// servers, small relations broadcast — and each server evaluates the
+	// query on its own child disk, concurrently, with deterministic
+	// server-order merging. Result.Shards then reports the per-round load
+	// accounting. 0 (the default) falls back to the ACYCLICJOIN_SHARDS
+	// environment variable, and failing that to 1; at 1 the shard machinery
+	// is bypassed entirely and the run is the classic single-server
+	// execution. The emitted row MULTISET is bit-identical at every shard
+	// count (on both backends, all memo modes); the emission order is
+	// server-major, so it differs from the unsharded order. Sharded runs
+	// always use Algorithm 2 — the Section 6 line dispatcher is a
+	// single-server plan — and report Greedy == nil.
+	Shards int
 	// Faults attaches a deterministic, seeded fault-injection plan to the
 	// simulated disk: transient faults are retried at operator boundaries
 	// (retry I/O charged separately on Result.Faults, so the main Stats stay
@@ -174,15 +190,11 @@ func (o Options) withDefaults() Options {
 	if o.Block == 0 {
 		o.Block = 64
 	}
-	if o.Backend == "" {
-		o.Backend = os.Getenv("ACYCLICJOIN_BACKEND")
-	}
+	o.Backend = cli.BackendName(o.Backend)
 	if o.Backend == "" {
 		o.Backend = "sim"
 	}
-	if o.DataDir == "" {
-		o.DataDir = os.Getenv("ACYCLICJOIN_DATADIR")
-	}
+	o.DataDir = cli.DataDir(o.DataDir)
 	return o
 }
 
@@ -246,6 +258,11 @@ type Result struct {
 	// re-charged by retries, and the simulated backoff cost. All zero when
 	// no plan was attached or the plan never fired.
 	Faults FaultStats
+	// Shards is the MPC load accounting of a shard-parallel run (resolved
+	// Options.Shards > 1): server count, partition attribute, replication
+	// overhead, heavy-hitter telemetry, and per-round maximum/median load
+	// against the instance-optimal bound ceil(N/p). nil for unsharded runs.
+	Shards *LoadStats
 	// Greedy records, for StrategyGreedy, every multi-leaf decision the
 	// planner scored: candidates with block counts, fan-outs, probed
 	// survival estimates and scores, and the chosen branch, in first-
@@ -279,6 +296,16 @@ type DeviceStats = extmem.DeviceStats
 
 // PruneStats is the branch-and-bound telemetry of the exhaustive planner.
 type PruneStats = core.PruneStats
+
+// LoadStats is the MPC load accounting of a shard-parallel run; see the
+// shard package for field semantics.
+type LoadStats = shard.LoadStats
+
+// RoundLoad is one MPC round's per-server load within LoadStats.
+type RoundLoad = shard.RoundLoad
+
+// MaxShards bounds Options.Shards.
+const MaxShards = shard.MaxShards
 
 // GreedyDecision is one scored decision point of a StrategyGreedy run; see
 // the core package for field semantics.
@@ -317,6 +344,13 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 	cfg := extmem.Config{M: opts.Memory, B: opts.Block}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	shards, err := cli.Shards(opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("acyclicjoin: %w", err)
+	}
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("acyclicjoin: shard count %d out of range [1, %d]", shards, shard.MaxShards)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -397,7 +431,26 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 		MemoLimits:    memoLimits,
 		SortCache:     opts.SortCache,
 	}
-	if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
+	if shards > 1 {
+		r, serr := shard.Run(q.graph, work, coreEmit, shard.Options{Shards: shards, Core: copts})
+		if serr != nil {
+			return abortResult(disk, count, serr)
+		}
+		res.Plan = fmt.Sprintf("acyclic-join (Algorithm 2), strategy %s, sharded MPC x%d", opts.Strategy, shards)
+		res.Branches = r.Branches
+		res.Prune = r.Prune
+		res.ClampedChoices = r.ClampedChoices
+		load := r.Load
+		res.Shards = &load
+		// Execution stats: reduction + distribution + every server's winning
+		// branch. Planning adds the servers' dry runs.
+		execFull := disk.Stats().Sub(r.TotalStats.Sub(r.ExecStats))
+		res.Stats = fromExtmem(execFull)
+		res.PlanningStats = fromExtmem(disk.Stats())
+		if emit == nil {
+			count = r.Emitted
+		}
+	} else if !opts.NoLineSpecialization && q.IsLine() && q.graph.NumEdges() >= 3 {
 		plan, lerr := core.RunLine(q.graph, work, coreEmit, copts)
 		if lerr != nil {
 			return abortResult(disk, count, lerr)
