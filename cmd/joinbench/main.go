@@ -6,8 +6,8 @@
 // Usage:
 //
 //	joinbench [-exp E4] [-m 256] [-b 16] [-scale 1] [-seed 42] [-parallel 4] [-list]
-//	          [-opcache=false] [-prune=false] [-backend file] [-strategy greedy]
-//	          [-shards 4] [-timeout 10m]
+//	          [-opcache=false] [-prune=false] [-backend file] [-syncdevice]
+//	          [-strategy greedy] [-shards 4] [-timeout 10m]
 //	          [-benchjson BENCH_opcache.json] [-prunejson BENCH_prune.json]
 //	          [-chaosjson BENCH_chaos.json] [-backendjson BENCH_backend.json]
 //	          [-greedyjson BENCH_greedy.json] [-shardjson BENCH_shards.json]
@@ -38,6 +38,7 @@ type config struct {
 	verify, par, shards             int
 	opcache, sortcache, prune       bool
 	backend, datadir, strategy      string
+	syncdevice                      bool
 	benchjson, prunejson, chaosjson string
 	backendjson, greedyjson         string
 	shardjson                       string
@@ -62,6 +63,7 @@ func main() {
 	flag.StringVar(&c.chaosjson, "chaosjson", "", "write the machine-readable chaos benchmark (fault rates x worker counts, bit-identity, retry telemetry) to this file and exit")
 	flag.StringVar(&c.backend, "backend", "", "storage engine for every experiment: sim (counting simulator, default) or file (real os.File-backed disk; all tables stay byte-identical); empty falls back to $ACYCLICJOIN_BACKEND")
 	flag.StringVar(&c.datadir, "datadir", "", "directory for the file backend's backing files (default $ACYCLICJOIN_DATADIR, then unlinked temp files)")
+	flag.BoolVar(&c.syncdevice, "syncdevice", false, "force the file backend's synchronous device path (inline pread/pwrite, no overlap workers); default async unless $ACYCLICJOIN_SYNC_DEVICE is set; all tables are byte-identical either way")
 	flag.StringVar(&c.backendjson, "backendjson", "", "write the machine-readable backend differential benchmark (sim vs file: transfer parity, bit-identity, device telemetry, wall-clock) to this file and exit")
 	flag.StringVar(&c.greedyjson, "greedyjson", "", "write the machine-readable greedy-planner benchmark (planning I/Os vs the exhaustive sweep, plan-quality ratio, wall-clock) to this file and exit")
 	flag.StringVar(&c.shardjson, "shardjson", "", "write the machine-readable sharding benchmark (load vs the instance-optimal bound, heavy-hitter effect, wall-clock speedup on the file backend) to this file and exit")
@@ -136,7 +138,8 @@ func run(ctx context.Context, c config) int {
 
 	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
 		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune,
-		Backend: c.backend, DataDir: c.datadir, Strategy: c.strategy, Shards: c.shards}
+		Backend: c.backend, DataDir: c.datadir, SyncDevice: c.syncdevice,
+		Strategy: c.strategy, Shards: c.shards}
 
 	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
@@ -199,12 +202,17 @@ func run(ctx context.Context, c config) int {
 		if writeJSON(c.backendjson, res, "backend bench") != nil {
 			return 1
 		}
+		mode := "async"
+		if res.SyncDevice {
+			mode = "sync"
+		}
 		for _, w := range res.Workloads {
-			fmt.Printf("%-17s wall file/sim = %.2fms/%.2fms (%.1fx)  IOs %d parity=%v identical=%v  preads=%d pwrites=%d cache hits=%d prefetched=%d (hit %d, wasted %d) evictions=%d\n",
+			fmt.Printf("%-17s wall file/sim = %.2fms/%.2fms (%.1fx)  IOs %d parity=%v identical=%v  preads=%d pwrites=%d cache hits=%d prefetched=%d (hit %d, wasted %d) evictions=%d  device=%s overlapped=%d queue-hiwater=%d inflight-hiwater=%d demand-waits=%d\n",
 				w.Name, float64(w.WallNanosFile)/1e6, float64(w.WallNanosSim)/1e6,
 				w.Slowdown, w.IOs, w.Parity, w.Identical,
 				w.ReadCalls, w.WriteCalls, w.CacheHits, w.Prefetched,
-				w.PrefetchHits, w.PrefetchWasted, w.Evictions)
+				w.PrefetchHits, w.PrefetchWasted, w.Evictions,
+				mode, w.OverlappedWrites, w.FlushQueueHiWater, w.PrefetchInFlight, w.DemandWaits)
 		}
 		return 0
 	}

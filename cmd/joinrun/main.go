@@ -39,6 +39,7 @@ func main() {
 		faultSeed = flag.Int64("faultseed", 1, "seed for the injected fault schedule")
 		backend   = flag.String("backend", "", "storage engine: sim (counting simulator, default) or file (real os.File-backed disk with block cache; results and I/O figures are bit-identical, charged transfers are physically executed and verified); empty falls back to $ACYCLICJOIN_BACKEND")
 		datadir   = flag.String("datadir", "", "directory for the file backend's backing file (default $ACYCLICJOIN_DATADIR, then an unlinked temp file)")
+		syncDev   = flag.Bool("syncdevice", false, "force the file backend's synchronous device path (inline pread/pwrite, no overlap workers); default async unless $ACYCLICJOIN_SYNC_DEVICE is set; results and I/O figures are bit-identical either way")
 		shards    = flag.Int("shards", 0, "execute across this many simulated MPC servers, hash-sharding the input with heavy-hitter splitting (the result multiset is identical at any count; row order is server-major); 0 falls back to $ACYCLICJOIN_SHARDS, then 1 (unsharded)")
 	)
 	flag.Parse()
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	opts := acyclicjoin.Options{Memory: *m, Block: *b, Parallelism: *par, NoPrune: !*prune,
-		Backend: *backend, DataDir: *datadir, Shards: *shards}
+		Backend: *backend, DataDir: *datadir, SyncDevice: *syncDev, Shards: *shards}
 	if *faultRate > 0 {
 		opts.Faults = &acyclicjoin.FaultPlan{Seed: *faultSeed, TransientRate: *faultRate}
 	}
@@ -129,11 +130,17 @@ func main() {
 			res.Transfers.ReplayedReads+res.Transfers.ReplayedWrites,
 			d.ReadCalls, d.WriteCalls, d.CacheHits, d.Prefetched,
 			d.PrefetchHits, d.PrefetchWasted, d.Evictions)
+		fmt.Fprintf(os.Stderr, "device pipeline: overlapped writes=%d queue hi-water=%d inflight hi-water=%d demand waits=%d\n",
+			d.OverlappedWrites, d.FlushQueueHiWater, d.PrefetchInFlight, d.DemandWaits)
 	}
 	if s := res.Shards; s != nil && len(s.Rounds) > 0 {
 		d := s.Rounds[0]
-		fmt.Fprintf(os.Stderr, "shards: %d servers, max load %d vs bound %d (%.2fx), replication %.2fx, %d heavy values split\n",
-			s.Shards, d.Max(), d.Bound, d.Ratio(), s.Replication, s.HeavyValues)
+		note := ""
+		if s.Bypass {
+			note = " (bypass: distribution machinery skipped)"
+		}
+		fmt.Fprintf(os.Stderr, "shards: %d servers%s, max load %d vs bound %d (%.2fx), replication %.2fx, %d heavy values split\n",
+			s.Shards, note, d.Max(), d.Bound, d.Ratio(), s.Replication, s.HeavyValues)
 	}
 	if res.Faults.Any() {
 		fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)

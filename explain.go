@@ -123,7 +123,10 @@ func (r *Result) ExplainString() string {
 			r.Prune.Started, r.Prune.Pruned, r.Prune.Completed, r.Prune.ChargedBeforeAbort)
 	}
 	if s := r.Shards; s != nil {
-		if s.PartitionAttr >= 0 {
+		if s.Bypass {
+			fmt.Fprintf(&b, "sharding: 1 server (bypass: distribution machinery skipped), replication %.2fx\n",
+				s.Replication)
+		} else if s.PartitionAttr >= 0 {
 			fmt.Fprintf(&b, "sharding: %d servers, hashed on attr %d (%d hashed, %d broadcast relations), replication %.2fx\n",
 				s.Shards, s.PartitionAttr, s.HashedRelations, s.BroadcastRelations, s.Replication)
 		} else {

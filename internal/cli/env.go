@@ -43,6 +43,14 @@ func stringOr(flag, env string) string {
 // untouched — the library range-checks it — but an environment value that is
 // set must parse as a positive integer. Errors carry no package prefix so
 // callers can wrap them under their own name.
+// ShardsRequested reports whether a shard count was explicitly selected —
+// by flag/Options field or by $ACYCLICJOIN_SHARDS. The library uses it to
+// decide whether a resolved count of 1 means "nobody asked" (no shard
+// telemetry) or "the 1-server bypass was requested" (report it).
+func ShardsRequested(flag int) bool {
+	return flag != 0 || os.Getenv(EnvShards) != ""
+}
+
 func Shards(flag int) (int, error) {
 	if flag != 0 {
 		return flag, nil

@@ -171,6 +171,15 @@ func FuzzFaultOracle(f *testing.F) {
 // the seam parity invariant — charged Stats equal performed plus replayed
 // transfers — and that the engine observed exactly the performed side.
 func engineRunBackend(b builder, opts Options) (*Result, []string, extmem.Stats, error) {
+	return engineRunBackendFaults(b, opts, nil)
+}
+
+// engineRunBackendFaults is engineRunBackend with a fault plan attached after
+// the instance is loaded, mirroring engineRunFaults: injected faults must
+// deliver deterministically through the asynchronous device pipeline, and
+// rollback-and-retry must leave the seam ledger and the engine's billed
+// counters in exact parity.
+func engineRunBackendFaults(b builder, opts Options, plan *extmem.FaultPlan) (*Result, []string, extmem.Stats, error) {
 	cfg := extmem.Config{M: 64, B: 4}
 	eng, err := diskfile.Open("", cfg)
 	if err != nil {
@@ -179,6 +188,7 @@ func engineRunBackend(b builder, opts Options) (*Result, []string, extmem.Stats,
 	defer eng.Close()
 	d := extmem.NewDiskWithBackend(cfg, eng)
 	g, in := b(d)
+	d.SetFaultPlan(plan)
 	goroutines := runtime.NumGoroutine()
 	var emitted []string
 	r, runErr := Run(g, in, func(a tuple.Assignment) {
@@ -189,9 +199,24 @@ func engineRunBackend(b builder, opts Options) (*Result, []string, extmem.Stats,
 	if st.Reads != xfer.TotalReads() || st.Writes != xfer.TotalWrites() {
 		panic(fmt.Sprintf("seam parity broken: stats %+v vs transfers %+v", st, xfer))
 	}
-	if dev.BilledReads != xfer.Reads || dev.BilledWrites != xfer.Writes {
-		panic(fmt.Sprintf("engine observed %d/%d billed transfers, ledger performed %d/%d",
-			dev.BilledReads, dev.BilledWrites, xfer.Reads, xfer.Writes))
+	// Engine-vs-ledger reconciliation, meaningful only on clean completion:
+	// an aborted run discards the failed wave's child disks, whose ledger
+	// entries are dropped while the shared engine already billed their
+	// transfers. On a clean fault-free run the engine's billed counters equal
+	// the performed side of the ledger exactly. On a clean run WITH a fault
+	// plan, operator-boundary retries rewind the ledger (the attempt's
+	// charges move to the FaultStats side-channel) while the engine already
+	// executed the rolled-back transfers — so the engine may only run AHEAD
+	// of the ledger, by at most the retried I/O (RetryReads/RetryWrites also
+	// count inline retries, which re-issue without an extra engine command,
+	// hence the inequality).
+	if runErr == nil {
+		fs := d.FaultStats()
+		excessR, excessW := dev.BilledReads-xfer.Reads, dev.BilledWrites-xfer.Writes
+		if excessR < 0 || excessR > fs.RetryReads || excessW < 0 || excessW > fs.RetryWrites {
+			panic(fmt.Sprintf("engine observed %d/%d billed transfers, ledger performed %d/%d, retries %d/%d",
+				dev.BilledReads, dev.BilledWrites, xfer.Reads, xfer.Writes, fs.RetryReads, fs.RetryWrites))
+		}
 	}
 	return r, emitted, st, runErr
 }
@@ -203,7 +228,9 @@ func engineRunBackend(b builder, opts Options) (*Result, []string, extmem.Stats,
 // the winning Policy, and the final disk Stats. Both arms run unpruned so
 // complete-Result identity is the contract (mirroring engineRun). The file
 // arm additionally byte-verifies every billed read against the in-memory
-// image and checks the seam parity invariant inside engineRunBackend.
+// image and checks the seam parity invariant inside engineRunBackend. Two
+// fault arms then drive the same workload through the asynchronous device
+// pipeline under injected transient and permanent faults.
 func FuzzBackendOracle(f *testing.F) {
 	f.Add(uint8(0), uint8(3), uint8(20), uint8(1), uint8(0), uint8(0))
 	f.Add(uint8(1), uint8(2), uint8(25), uint8(2), uint8(4), uint8(1))
@@ -253,6 +280,50 @@ func FuzzBackendOracle(f *testing.F) {
 		if fbStats != refStats {
 			t.Fatalf("final disk stats diverge: file %+v vs sim %+v", fbStats, refStats)
 		}
+
+		// Fault arms through the async device pipeline, mirroring
+		// FuzzFaultOracle. Their parameters derive from the existing inputs so
+		// the checked-in corpus keeps working. Transient faults must retry to
+		// bit-identity with the fault-free reference (or escalate typed);
+		// engineRunBackendFaults re-checks seam parity and the engine's billed
+		// counters on every arm, fault unwinds included.
+		plan := &extmem.FaultPlan{
+			Seed:          int64(rows) + 1,
+			TransientRate: float64((int(rows)*7+int(size))%100) / 200, // 0 .. 0.495
+			MaxAttempts:   64,
+		}
+		ft, ftRows, _, ftErr := engineRunBackendFaults(build, opts, plan)
+		if ftErr != nil {
+			var fe *extmem.FaultError
+			if !errors.As(ftErr, &fe) {
+				t.Fatalf("file transient arm failed untyped: %v", ftErr)
+			}
+		} else {
+			if !reflect.DeepEqual(ftRows, refRows) {
+				t.Fatalf("file transient arm rows diverge: %d vs %d", len(ftRows), len(refRows))
+			}
+			if ft.Emitted != ref.Emitted || ft.ExecStats != ref.ExecStats {
+				t.Fatalf("file transient arm exec diverges: emitted %d/%d stats %+v/%+v",
+					ft.Emitted, ref.Emitted, ft.ExecStats, ref.ExecStats)
+			}
+			if !reflect.DeepEqual(ft.Policy, ref.Policy) {
+				t.Fatalf("file transient arm policy diverges: %v vs %v", ft.Policy, ref.Policy)
+			}
+		}
+
+		// Permanent arm: a guaranteed trigger must fail typed, and the engine
+		// must come back consistent (parity is re-checked inside the helper
+		// even though the run aborts mid-flight).
+		permAt := int64(dom)%37 + 3
+		_, _, _, perr := engineRunBackendFaults(build, opts, &extmem.FaultPlan{PermanentAt: permAt})
+		if perr != nil {
+			var fe *extmem.FaultError
+			if !errors.As(perr, &fe) {
+				t.Fatalf("file permanent arm failed untyped: %v", perr)
+			}
+			if fe.Kind != extmem.FaultPermanent {
+				t.Fatalf("file permanent arm returned kind %v", fe.Kind)
+			}
+		}
 	})
 }
-

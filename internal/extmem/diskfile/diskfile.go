@@ -14,6 +14,19 @@
 // that machinery is visible to the model: charges and transfer parity are
 // counted at the seam, and the cache only changes the syscall telemetry
 // reported through DeviceStats.
+//
+// Device I/O is asynchronous by default: no pread or pwrite executes while
+// holding the engine mutex. Writeback forms coalesced segments at the charged
+// operation (allocating device offsets in deterministic (phys, frame) order)
+// and hands them to a dedicated flusher goroutine over a bounded FIFO queue;
+// sequential read-ahead is performed by a prefetch worker that loads pinned
+// frames marked with a per-frame in-flight latch. Every cache-state decision
+// and every deterministic DeviceStats counter is made under the mutex at the
+// charged operation, so the sync and async pipelines report bit-identical
+// telemetry on a sequential schedule; only the four overlap counters
+// (OverlappedWrites, FlushQueueHiWater, PrefetchInFlight, DemandWaits) are
+// timing-dependent. OpenSync — or the ACYCLICJOIN_SYNC_DEVICE environment
+// variable — forces the old inline path for debugging.
 package diskfile
 
 import (
@@ -28,31 +41,108 @@ import (
 	"acyclicjoin/internal/extmem"
 )
 
+// EnvSyncDevice, when set to anything other than "", "0", or "false", makes
+// Open build the engine in synchronous device mode: every pread/pwrite
+// executes inline under the engine mutex at the charged operation, exactly as
+// before the async pipeline. Charged counters, verification, and results are
+// bit-identical either way.
+const EnvSyncDevice = "ACYCLICJOIN_SYNC_DEVICE"
+
+// maxQueuedSegs bounds the writeback queue: once this many coalesced segments
+// are waiting on the flusher, the next flush blocks (releasing the mutex)
+// until the device catches up, so a fast producer cannot buffer the whole
+// workload in memory. Deep enough that a producer in a flush burst rarely
+// stalls (a segment is at most batchFrames frames, so the buffered ceiling
+// stays a few hundred KB), shallow enough to stay a real bound.
+const maxQueuedSegs = 32
+
 // Engine is an extmem.Backend that mirrors the simulated disk onto one
 // backing os.File. It is safe for concurrent use: a disk tree's children may
 // run on distinct goroutines, and all engine state is guarded by one mutex.
-type Engine struct {
-	mu     sync.Mutex
-	cfg    extmem.Config
-	f      *os.File
-	path   string // retained file path; "" when unlinked at creation
-	closed bool
+//
+// Engine is a small handle around the actual engine state: the worker
+// goroutines reference only the inner struct, so an abandoned handle still
+// becomes unreachable and its finalizer can shut the workers down and release
+// the descriptor.
+type Engine struct{ *engine }
 
-	nextPhys uint64
-	files    map[uint64]*pfile
-	cache    map[frameKey]*frame
-	lru      *list.List // front = most recently used; values are *frame
-	dirty    map[frameKey]*frame
-	free     map[int64][]int64 // allocation size -> reusable device offsets
-	devEnd   int64             // bump allocator high-water mark
+type engine struct {
+	mu      sync.Mutex
+	ioCond  *sync.Cond // broadcast on every worker completion and queue change
+	cfg     extmem.Config
+	f       *os.File
+	path    string // retained file path; "" when unlinked at creation
+	closed  bool
+	closing bool // a Close is in progress (it releases mu while draining)
+	syncDev bool // inline device I/O under mu; no worker goroutines
+
+	nextPhys  uint64
+	files     map[uint64]*pfile
+	lastPhys  uint64 // one-entry pfileOf memo: charged ops cluster per file
+	lastPf    *pfile
+	nFrames   int        // resident frames (cache occupancy; frames live in pfile.frames)
+	frameFree []*frame   // evicted frame shells for reuse (cells capacity retained)
+	lru       *list.List // front = most recently used; values are *frame
+	dirty     map[frameKey]*frame
+	free      map[int64][]int64 // allocation size -> reusable device offsets
+	devEnd    int64             // bump allocator high-water mark
 
 	capFrames   int // cache capacity: M/B frames, like the model's memory
 	batchFrames int // dirty frames buffered before a coalescing flush
 	readAhead   int // frames prefetched ahead of a sequential scan
 
 	stats   extmem.DeviceStats
-	scratch []byte
+	scratch []byte // sync-mode staging; async paths use pooled per-segment buffers
+
+	// Async pipeline state (unused in sync mode). Everything is guarded by mu;
+	// the workers take work out under mu, perform the syscall unlocked, and
+	// publish completion under mu via ioCond.
+	wbQueue     []*wbSeg         // FIFO of formed segments awaiting pwrite
+	wbActive    bool             // flusher is between dequeue and completion
+	wbWaiters   int              // drainers blocked in drainWritebackLocked
+	wbPending   map[frameKey]int // queued or in-flight writeback copies per frame
+	physPending map[uint64]int   // same, aggregated per physical file
+	pfQueue     []*loadReq       // FIFO of prefetch loads awaiting the worker
+	loading     int              // frames currently marked in-flight
+	ioErr       error            // first async syscall failure; surfaces at the next charged op
+	quit        bool
+	workersUp   bool
+	wbDone      chan struct{}
+	pfDone      chan struct{}
 }
+
+// wbSeg is one coalesced writeback segment: the encoded bytes of one or more
+// offset-contiguous frames, snapshotted at flush time so later mutations of
+// the cache frames cannot race the in-flight pwrite.
+type wbSeg struct {
+	off  int64
+	buf  []byte
+	keys []frameKey // frames encoded into buf, in device-offset order
+}
+
+// loadReq is one queued prefetch: a contiguous run of frames, already in the
+// cache and latched loading, with counters charged at enqueue time. The run
+// maps to a single pread — grouping is decided at formation, under the mutex,
+// so the ReadCalls telemetry stays deterministic.
+type loadReq struct {
+	frs   []*frame
+	off   int64
+	cells []int // device cells per frame, snapshotted at enqueue
+}
+
+// segPool recycles writeback and load buffers across the engine's lifetime.
+var segPool sync.Pool
+
+func getBuf(n int) []byte {
+	if v := segPool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putBuf(b []byte) { segPool.Put(&b) }
 
 // pfile is the device-side state of one physical file.
 type pfile struct {
@@ -60,9 +150,21 @@ type pfile struct {
 	slot       int // cells per tuple (arity 0 stores one sentinel cell)
 	frameCells int // capacity of one frame in cells (B * slot)
 	frameBytes int64
-	offs       []int64 // device offset per frame index; -1 = not allocated
-	devCells   []int   // cells present on the device per frame
-	lastSeq    int     // last demand-fetched frame (sequential-scan detector)
+	offs       []int64  // device offset per frame index; -1 = not allocated
+	devCells   []int    // cells present on the device per frame
+	frames     []*frame // cached frame per index (nil = not resident)
+	lastSeq    int      // last demand-fetched frame (sequential-scan detector)
+}
+
+// frame returns the cached frame at index k, or nil. A slice index replaces
+// the old global map[frameKey] lookup: the cache membership test runs on
+// every charged operation, and on charge-dense workloads the map hashing was
+// a measurable slice of the whole engine overhead.
+func (pf *pfile) frame(k int) *frame {
+	if k < len(pf.frames) {
+		return pf.frames[k]
+	}
+	return nil
 }
 
 type frameKey struct {
@@ -74,21 +176,56 @@ type frameKey struct {
 // [idx*B, (idx+1)*B) of its file, possibly ahead of the device copy (dirty).
 // prefetched marks a frame brought in by read-ahead that no demand read has
 // touched yet; its resolution feeds the PrefetchHits/PrefetchWasted telemetry.
+// loading is the in-flight latch: the frame is pinned while a worker (or a
+// demand read on another goroutine) preads into it, and every path that would
+// read, overwrite, or evict it waits on the latch first — a frame is never
+// double-read and never observed half-filled.
 type frame struct {
 	key        frameKey
+	pf         *pfile // owning file (saves a files-map lookup on hot paths)
 	cells      []int64
 	dirty      bool
 	prefetched bool
+	loading    bool
 	elem       *list.Element
 }
 
-// Open creates a file-backed engine for the given machine configuration. The
-// backing file is created under dir; an empty dir means the system temp
-// directory with the file unlinked immediately (it exists only as an open
-// descriptor and can never be leaked on disk). A non-empty dir retains the
-// file until Close. A finalizer backstops Close so an abandoned engine cannot
-// leak the descriptor.
+// Open creates a file-backed engine for the given machine configuration, in
+// asynchronous device mode unless ACYCLICJOIN_SYNC_DEVICE is set. The backing
+// file is created under dir; an empty dir means the system temp directory
+// with the file unlinked immediately (it exists only as an open descriptor
+// and can never be leaked on disk). A non-empty dir retains the file until
+// Close. A finalizer backstops Close so an abandoned engine cannot leak the
+// descriptor or its worker goroutines.
 func Open(dir string, cfg extmem.Config) (*Engine, error) {
+	return open(dir, cfg, SyncFromEnv())
+}
+
+// OpenSync is Open pinned to synchronous device mode: no worker goroutines,
+// every syscall inline under the engine mutex (the pre-pipeline behaviour).
+func OpenSync(dir string, cfg extmem.Config) (*Engine, error) {
+	return open(dir, cfg, true)
+}
+
+// OpenAsync is Open pinned to asynchronous device mode, ignoring the
+// environment (used by A/B benchmarks).
+func OpenAsync(dir string, cfg extmem.Config) (*Engine, error) {
+	return open(dir, cfg, false)
+}
+
+// SyncFromEnv reports whether ACYCLICJOIN_SYNC_DEVICE currently forces the
+// synchronous device path (any value other than "", "0", or "false"); it is
+// what Open consults. Exposed so telemetry writers can record which mode an
+// env-configured run actually used.
+func SyncFromEnv() bool {
+	switch os.Getenv(EnvSyncDevice) {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+func open(dir string, cfg extmem.Config, syncDev bool) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,46 +237,63 @@ func Open(dir string, cfg extmem.Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskfile: create backing file: %w", err)
 	}
-	e := &Engine{
+	in := &engine{
 		cfg:      cfg,
 		f:        f,
 		path:     f.Name(),
+		syncDev:  syncDev,
 		nextPhys: 1,
 		files:    map[uint64]*pfile{},
-		cache:    map[frameKey]*frame{},
 		lru:      list.New(),
 		dirty:    map[frameKey]*frame{},
 		free:     map[int64][]int64{},
 	}
-	if e.capFrames = cfg.M / cfg.B; e.capFrames < 2 {
-		e.capFrames = 2
+	in.ioCond = sync.NewCond(&in.mu)
+	if in.capFrames = cfg.M / cfg.B; in.capFrames < 2 {
+		in.capFrames = 2
 	}
-	if e.batchFrames = e.capFrames / 4; e.batchFrames < 4 {
-		e.batchFrames = 4
+	if in.batchFrames = in.capFrames / 4; in.batchFrames < 4 {
+		in.batchFrames = 4
 	}
-	e.readAhead = 2
+	in.readAhead = 4
 	if unlink {
 		// Anonymous mode: the name disappears now; the descriptor keeps the
 		// storage alive until Close.
-		if err := os.Remove(e.path); err != nil {
+		if err := os.Remove(in.path); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("diskfile: unlink backing file: %w", err)
 		}
-		e.path = ""
+		in.path = ""
 	}
-	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
+	if !syncDev {
+		// Workers start eagerly so goroutine accounting is stable from Open:
+		// one flusher draining the writeback queue, one prefetch worker
+		// draining the read-ahead queue.
+		in.wbPending = map[frameKey]int{}
+		in.physPending = map[uint64]int{}
+		in.wbDone = make(chan struct{})
+		in.pfDone = make(chan struct{})
+		in.workersUp = true
+		go in.writebackWorker()
+		go in.prefetchWorker()
+	}
+	e := &Engine{in}
+	runtime.SetFinalizer(e, func(e *Engine) { e.engine.Close() })
 	return e, nil
 }
 
 // Name implements extmem.Backend.
-func (e *Engine) Name() string { return "file" }
+func (e *engine) Name() string { return "file" }
 
 // Path returns the backing file's path, or "" when it was unlinked at
 // creation (anonymous mode).
-func (e *Engine) Path() string { return e.path }
+func (e *engine) Path() string { return e.path }
+
+// SyncDevice reports whether the engine runs in synchronous device mode.
+func (e *engine) SyncDevice() bool { return e.syncDev }
 
 // CreateFile implements extmem.Backend.
-func (e *Engine) CreateFile(arity int) uint64 {
+func (e *engine) CreateFile(arity int) uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	slot := arity
@@ -157,25 +311,87 @@ func (e *Engine) CreateFile(arity int) uint64 {
 	return phys
 }
 
-func (e *Engine) pfileOf(phys uint64) *pfile {
+func (e *engine) pfileOf(phys uint64) *pfile {
+	if phys == e.lastPhys && e.lastPf != nil {
+		return e.lastPf
+	}
 	pf, ok := e.files[phys]
 	if !ok {
 		panic(fmt.Sprintf("diskfile: unknown physical file %d", phys))
 	}
+	e.lastPhys, e.lastPf = phys, pf
 	return pf
+}
+
+// failAsync records the first asynchronous syscall failure. It is surfaced as
+// a panic at the next charged operation (and as an error from Flush/Close),
+// with the failing transfer identified in the message.
+func (e *engine) failAsync(err error) {
+	if e.ioErr == nil {
+		e.ioErr = err
+	}
+}
+
+// checkAsyncErr surfaces a recorded asynchronous failure on the calling
+// charged operation.
+func (e *engine) checkAsyncErr() {
+	if e.ioErr != nil {
+		panic(e.ioErr.Error())
+	}
+}
+
+// frameSettled returns the resident frame for (pf, k) with any in-flight load
+// completed, or nil when the slot is empty. Waiting releases the mutex, and a
+// concurrent charged operation may evict the waited-on frame — and reuse its
+// shell for a different key — before the waiter reacquires the lock, so the
+// lookup revalidates the slot after every wait and only returns a frame that
+// is both settled and still the slot's current occupant. steal lets a demand
+// reader claim the frame's queued prefetch group instead of blocking behind
+// the worker's schedule.
+func (e *engine) frameSettled(pf *pfile, k int, steal bool) *frame {
+	for {
+		fr := pf.frame(k)
+		if fr == nil || !fr.loading {
+			return fr
+		}
+		if steal && e.stealQueuedLoad(fr) {
+			e.checkAsyncErr()
+		} else {
+			e.waitFrameLoaded(fr)
+		}
+		if pf.frame(k) == fr {
+			return fr
+		}
+	}
+}
+
+// waitFrameLoaded blocks until fr's in-flight load (if any) completes. Callers
+// on the charged path come through here before reading, overwriting, or
+// evicting a latched frame, and must revalidate any slot lookup afterwards
+// (see frameSettled) — the frame may no longer be the slot's occupant.
+func (e *engine) waitFrameLoaded(fr *frame) {
+	if !fr.loading {
+		return
+	}
+	e.stats.DemandWaits++
+	for fr.loading {
+		e.ioCond.Wait()
+	}
+	e.checkAsyncErr()
 }
 
 // WriteRange implements extmem.Backend: cells become the contents of tuples
 // [off, off+n) of phys. off is frame-aligned and windows only ever grow a
 // file, so every touched frame is overwritten from its first cell — no
 // read-modify-write is needed and the cache frame can be replaced outright.
-func (e *Engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
+func (e *engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
 	if len(cells) == 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ensureOpen()
+	e.checkAsyncErr()
 	if billed {
 		e.stats.BilledWrites++
 	} else {
@@ -187,9 +403,9 @@ func (e *Engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
 		if n > pf.frameCells {
 			n = pf.frameCells
 		}
-		fr := e.cache[frameKey{phys, k}]
+		fr := e.frameSettled(pf, k, false)
 		if fr == nil {
-			fr = e.insertFrame(frameKey{phys, k})
+			fr = e.insertFrame(pf, frameKey{phys, k})
 		} else {
 			e.lru.MoveToFront(fr.elem)
 			if fr.prefetched {
@@ -215,13 +431,14 @@ func (e *Engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
 // ReadRange implements extmem.Backend: fetch tuples [off, off+n) of phys —
 // from the cache, the device, or (when no device copy exists yet) rebuilt
 // from the image — and byte-verify the result against want.
-func (e *Engine) ReadRange(phys uint64, off int, want []int64) {
+func (e *engine) ReadRange(phys uint64, off int, want []int64) {
 	if len(want) == 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ensureOpen()
+	e.checkAsyncErr()
 	e.stats.BilledReads++
 	pf := e.pfileOf(phys)
 	served := "cache"
@@ -232,7 +449,7 @@ func (e *Engine) ReadRange(phys uint64, off int, want []int64) {
 		}
 		part := want[:n]
 		want = want[n:]
-		fr := e.cache[frameKey{phys, k}]
+		fr := e.frameSettled(pf, k, true)
 		switch {
 		case fr != nil:
 			e.lru.MoveToFront(fr.elem)
@@ -254,7 +471,7 @@ func (e *Engine) ReadRange(phys uint64, off int, want []int64) {
 			// from its original before this frame was ever written): the
 			// image is the only source. Materialize and keep it dirty so the
 			// device catches up.
-			fr = e.insertFrame(frameKey{phys, k})
+			fr = e.insertFrame(pf, frameKey{phys, k})
 			fr.cells = append(fr.cells[:0], part...)
 			fr.dirty = true
 			e.dirty[fr.key] = fr
@@ -286,7 +503,7 @@ func (e *Engine) ReadRange(phys uint64, off int, want []int64) {
 }
 
 // verify byte-compares a frame against the authoritative image window.
-func (e *Engine) verify(phys uint64, idx int, got, want []int64) {
+func (e *engine) verify(phys uint64, idx int, got, want []int64) {
 	n := len(got)
 	if len(want) < n {
 		n = len(want)
@@ -302,55 +519,95 @@ func (e *Engine) verify(phys uint64, idx int, got, want []int64) {
 }
 
 // Truncate implements extmem.Backend: drop every cached frame of phys and
-// return its device frames to the free list.
-func (e *Engine) Truncate(phys uint64) {
+// return its device frames to the free list. In async mode the file's queued
+// writebacks and in-flight loads are drained first, so a freed offset can
+// never be reallocated while a stale pwrite for it is still in the queue.
+func (e *engine) Truncate(phys uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.checkAsyncErr()
 	pf := e.pfileOf(phys)
-	for k, off := range pf.offs {
-		key := frameKey{phys, k}
-		if fr := e.cache[key]; fr != nil {
-			e.dropFrame(fr)
+	for {
+		var inFlight *frame
+		for _, fr := range pf.frames {
+			if fr != nil && fr.loading {
+				inFlight = fr
+				break
+			}
 		}
+		if inFlight == nil && e.physPending[phys] == 0 {
+			break
+		}
+		if inFlight != nil {
+			e.waitFrameLoaded(inFlight)
+		} else {
+			e.ioCond.Wait()
+		}
+	}
+	for _, off := range pf.offs {
 		if off >= 0 {
 			e.free[pf.frameBytes] = append(e.free[pf.frameBytes], off)
 		}
 	}
-	// Frames beyond the allocated range can still be cached (backfilled but
-	// never flushed).
-	for key, fr := range e.cache {
-		if key.phys == phys {
+	// pf.frames covers every resident frame, including backfilled frames
+	// beyond the allocated device range.
+	for _, fr := range pf.frames {
+		if fr != nil {
 			e.dropFrame(fr)
 		}
 	}
 	pf.offs = pf.offs[:0]
 	pf.devCells = pf.devCells[:0]
+	pf.frames = pf.frames[:0]
 	pf.lastSeq = -2
 }
 
-// Flush implements extmem.Backend: drain the dirty-frame batch to the device.
-func (e *Engine) Flush() error {
+// Flush implements extmem.Backend: drain the dirty-frame batch to the device
+// and wait for the flusher to land every queued segment. A deferred async
+// failure is returned here (it also panics at the next charged operation).
+func (e *engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil
 	}
 	e.flushLocked()
-	return nil
+	e.drainWritebackLocked()
+	return e.ioErr
 }
 
-// Close implements extmem.Backend: flush, release the descriptor, and remove
-// a retained backing file. Idempotent.
-func (e *Engine) Close() error {
+// Close implements extmem.Backend: flush, drain both workers, release the
+// descriptor, and remove a retained backing file. Idempotent — including
+// against a concurrent Close: the drain below releases the mutex, and the
+// handle finalizer may fire mid-call (the *Engine becomes unreachable the
+// moment a promoted method call extracts the inner engine), so a second
+// caller must bail on the closing latch, not just on closed.
+func (e *engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed || e.closing {
 		return nil
 	}
+	e.closing = true
 	e.flushLocked()
+	e.drainWritebackLocked()
+	for len(e.pfQueue) > 0 || e.loading > 0 {
+		e.ioCond.Wait()
+	}
 	e.closed = true
-	runtime.SetFinalizer(e, nil)
-	err := e.f.Close()
+	if e.workersUp {
+		e.quit = true
+		e.ioCond.Broadcast()
+		e.mu.Unlock()
+		<-e.wbDone
+		<-e.pfDone
+		e.mu.Lock()
+		e.workersUp = false
+	}
+	err := e.ioErr
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
 	if e.path != "" {
 		if rmErr := os.Remove(e.path); err == nil {
 			err = rmErr
@@ -360,85 +617,264 @@ func (e *Engine) Close() error {
 }
 
 // DeviceStats implements extmem.Backend.
-func (e *Engine) DeviceStats() extmem.DeviceStats {
+func (e *engine) DeviceStats() extmem.DeviceStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
 }
 
 // CachedFrames returns the number of frames currently resident (for tests).
-func (e *Engine) CachedFrames() int {
+func (e *engine) CachedFrames() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.cache)
+	return e.nFrames
 }
 
-func (e *Engine) ensureOpen() {
+func (e *engine) ensureOpen() {
 	if e.closed {
 		panic("diskfile: engine used after Close")
 	}
 }
 
-// insertFrame adds an empty frame for key at the front of the LRU.
-func (e *Engine) insertFrame(key frameKey) *frame {
-	fr := &frame{key: key}
+// insertFrame adds an empty frame for key at the front of the LRU, reusing an
+// evicted shell (and its cells capacity) when one is free: the steady-state
+// evict-and-refetch churn of a scan larger than the cache allocates nothing.
+func (e *engine) insertFrame(pf *pfile, key frameKey) *frame {
+	var fr *frame
+	if n := len(e.frameFree); n > 0 {
+		fr = e.frameFree[n-1]
+		e.frameFree = e.frameFree[:n-1]
+		fr.key, fr.pf, fr.cells = key, pf, fr.cells[:0]
+	} else {
+		fr = &frame{key: key, pf: pf}
+	}
 	fr.elem = e.lru.PushFront(fr)
-	e.cache[key] = fr
+	for len(pf.frames) <= key.idx {
+		pf.frames = append(pf.frames, nil)
+	}
+	pf.frames[key.idx] = fr
+	e.nFrames++
 	return fr
 }
 
-func (e *Engine) dropFrame(fr *frame) {
+func (e *engine) dropFrame(fr *frame) {
 	if fr.prefetched {
 		fr.prefetched = false
 		e.stats.PrefetchWasted++
 	}
 	e.lru.Remove(fr.elem)
-	delete(e.cache, fr.key)
+	fr.pf.frames[fr.key.idx] = nil
+	e.nFrames--
 	delete(e.dirty, fr.key)
+	fr.pf, fr.elem, fr.dirty, fr.loading = nil, nil, false, false
+	e.frameFree = append(e.frameFree, fr)
 }
 
 // evictLocked enforces the M/B-frame cache capacity. Evicting a dirty victim
 // drains the whole dirty batch first — the victim leaves clean, and the batch
-// gets its coalescing shot at the same time.
-func (e *Engine) evictLocked() {
-	for len(e.cache) > e.capFrames {
+// gets its coalescing shot at the same time. A latched victim is waited for,
+// never skipped: the LRU's deterministic victim choice is part of the
+// telemetry contract.
+func (e *engine) evictLocked() {
+	for e.nFrames > e.capFrames {
 		victim := e.lru.Back().Value.(*frame)
+		if victim.loading {
+			e.waitFrameLoaded(victim)
+			continue
+		}
 		if victim.dirty {
 			e.flushLocked()
+			continue
 		}
 		e.dropFrame(victim)
 		e.stats.Evictions++
 	}
 }
 
-// fetchFrame demand-reads one frame from the device into the cache.
-func (e *Engine) fetchFrame(pf *pfile, phys uint64, k int) *frame {
-	fr := e.insertFrame(frameKey{phys, k})
-	fr.cells = e.pread(pf.offs[k], pf.devCells[k], fr.cells)
+// fetchFrame demand-reads one frame from the device into the cache. The
+// telemetry and cache decisions happen here, under the mutex, at the charged
+// operation; in async mode the pread itself runs with the mutex released.
+func (e *engine) fetchFrame(pf *pfile, phys uint64, k int) *frame {
+	fr := e.insertFrame(pf, frameKey{phys, k})
 	e.stats.BlockReads++
 	e.stats.ReadCalls++
+	if e.syncDev {
+		fr.cells = e.pread(pf.offs[k], pf.devCells[k], fr.cells)
+		return fr
+	}
+	fr.loading = true
+	e.noteLoading()
+	e.loadGroup([]*frame{fr}, pf.offs[k], []int{pf.devCells[k]}, true)
+	e.checkAsyncErr()
 	return fr
 }
 
-// prefetch pulls up to readAhead device-resident frames following a detected
-// sequential scan into the cache ahead of their demand.
-func (e *Engine) prefetch(pf *pfile, phys uint64, from int) {
-	for k := from; k < from+e.readAhead; k++ {
-		if k >= len(pf.offs) || pf.offs[k] < 0 || pf.devCells[k] == 0 {
-			return
-		}
-		if e.cache[frameKey{phys, k}] != nil {
-			continue
-		}
-		fr := e.fetchFrame(pf, phys, k)
-		fr.prefetched = true
-		e.stats.Prefetched++
+// noteLoading tracks the in-flight load count and its high-water telemetry.
+func (e *engine) noteLoading() {
+	e.loading++
+	if n := int64(e.loading); n > e.stats.PrefetchInFlight {
+		e.stats.PrefetchInFlight = n
 	}
 }
 
-// flushLocked drains every dirty frame, allocating device space as needed and
-// coalescing offset-contiguous full frames into single pwrites.
-func (e *Engine) flushLocked() {
+// loadGroup performs one latched group load — a single pread covering a
+// contiguous run of frames — releasing the mutex across the syscall. The
+// caller (demand read, steal, or the prefetch worker) must already have set
+// every frame's loading latch and charged the counters. Queued writebacks of
+// the frames are waited out first — the device copy must be current before it
+// is read back.
+func (e *engine) loadGroup(frs []*frame, off int64, cells []int, demand bool) {
+	for _, fr := range frs {
+		if e.wbPending[fr.key] > 0 {
+			if demand {
+				e.stats.DemandWaits++
+				demand = false
+			}
+			for e.wbPending[fr.key] > 0 {
+				e.ioCond.Wait()
+			}
+		}
+	}
+	fb := int(frs[0].pf.frameBytes)
+	nbytes := fb*(len(frs)-1) + cells[len(frs)-1]*8
+	buf := getBuf(nbytes)
+	e.mu.Unlock()
+	_, err := e.f.ReadAt(buf, off)
+	e.mu.Lock()
+	if err != nil {
+		k := frs[0].key
+		e.failAsync(fmt.Errorf("diskfile: pread %d bytes at %d (phys %d frame %d, %d frames): %v",
+			nbytes, off, k.phys, k.idx, len(frs), err))
+	} else {
+		for i, fr := range frs {
+			n := cells[i]
+			if cap(fr.cells) < n {
+				fr.cells = make([]int64, n)
+			}
+			fr.cells = fr.cells[:n]
+			b := buf[i*fb:]
+			for j := range fr.cells {
+				fr.cells[j] = int64(binary.LittleEndian.Uint64(b[j*8:]))
+			}
+		}
+	}
+	putBuf(buf)
+	for _, fr := range frs {
+		fr.loading = false
+	}
+	e.loading -= len(frs)
+	e.ioCond.Broadcast()
+}
+
+// stealQueuedLoad claims the queued prefetch group containing fr (if the
+// worker has not yet dequeued it) and performs the load on the calling
+// (demand) goroutine: a scanner outpacing the worker fetches for itself
+// instead of blocking behind the worker's schedule. Counters are untouched —
+// the load was fully charged at enqueue time — so the steal is invisible to
+// the deterministic telemetry.
+func (e *engine) stealQueuedLoad(fr *frame) bool {
+	for i, req := range e.pfQueue {
+		for _, qf := range req.frs {
+			if qf == fr {
+				e.pfQueue = append(e.pfQueue[:i], e.pfQueue[i+1:]...)
+				e.loadGroup(req.frs, req.off, req.cells, true)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// prefetch pulls up to readAhead device-resident frames following a detected
+// sequential scan into the cache ahead of their demand, coalescing
+// offset-contiguous runs into single preads — the read-side mirror of the
+// write batcher. Grouping is decided here, under the mutex, at the charged
+// operation, so the ReadCalls telemetry is deterministic and identical across
+// the sync and async pipelines; in async mode the frames are inserted and
+// latched here (so the cache-hit accounting of later reads is unchanged) and
+// the preads happen on the worker.
+func (e *engine) prefetch(pf *pfile, phys uint64, from int) {
+	var (
+		frs   []*frame
+		cells []int
+		off   int64
+	)
+	flush := func() {
+		if len(frs) == 0 {
+			return
+		}
+		e.stats.ReadCalls++
+		if e.syncDev {
+			e.preadGroup(frs, off, cells)
+		} else {
+			for _, fr := range frs {
+				fr.loading = true
+				e.noteLoading()
+			}
+			e.pfQueue = append(e.pfQueue, &loadReq{frs: frs, off: off, cells: cells})
+		}
+		frs, cells = nil, nil
+	}
+	for k := from; k < from+e.readAhead; k++ {
+		if k >= len(pf.offs) || pf.offs[k] < 0 || pf.devCells[k] == 0 {
+			break
+		}
+		if pf.frame(k) != nil {
+			flush()
+			continue
+		}
+		if len(frs) > 0 && pf.offs[k] != off+int64(len(frs))*pf.frameBytes {
+			flush()
+		}
+		fr := e.insertFrame(pf, frameKey{phys, k})
+		fr.prefetched = true
+		e.stats.Prefetched++
+		e.stats.BlockReads++
+		if len(frs) == 0 {
+			off = pf.offs[k]
+		}
+		frs = append(frs, fr)
+		cells = append(cells, pf.devCells[k])
+	}
+	flush()
+	if !e.syncDev {
+		e.ioCond.Broadcast()
+	}
+}
+
+// prefetchWorker drains the read-ahead queue, one latched group load at a
+// time.
+func (e *engine) prefetchWorker() {
+	e.mu.Lock()
+	for {
+		for len(e.pfQueue) == 0 && !e.quit {
+			e.ioCond.Wait()
+		}
+		if len(e.pfQueue) == 0 {
+			break
+		}
+		req := e.pfQueue[0]
+		e.pfQueue = e.pfQueue[1:]
+		e.loadGroup(req.frs, req.off, req.cells, false)
+	}
+	e.mu.Unlock()
+	close(e.pfDone)
+}
+
+// flushLocked forms every dirty frame into coalesced segments — allocating
+// device space in deterministic (phys, frame) order — and either writes them
+// inline (sync mode) or enqueues them for the flusher. Formation is identical
+// in both modes, so the WriteCalls/BlockWrites telemetry is too. Backpressure
+// applies before formation: if the queue is full we wait (releasing the
+// mutex) for the flusher, then re-check the dirty set, since formation plus
+// enqueue must be atomic under the mutex to keep same-frame segments in FIFO
+// order.
+func (e *engine) flushLocked() {
+	if !e.syncDev {
+		for len(e.wbQueue) >= maxQueuedSegs {
+			e.ioCond.Wait()
+		}
+	}
 	if len(e.dirty) == 0 {
 		return
 	}
@@ -457,47 +893,131 @@ func (e *Engine) flushLocked() {
 		return frames[i].key.idx < frames[j].key.idx
 	})
 	for _, fr := range frames {
-		e.ensureAlloc(e.pfileOf(fr.key.phys), fr.key.idx)
+		e.ensureAlloc(fr.pf, fr.key.idx)
 	}
 	sort.Slice(frames, func(i, j int) bool {
-		pi := e.files[frames[i].key.phys].offs[frames[i].key.idx]
-		pj := e.files[frames[j].key.phys].offs[frames[j].key.idx]
-		return pi < pj
+		return frames[i].pf.offs[frames[i].key.idx] < frames[j].pf.offs[frames[j].key.idx]
 	})
 	for i := 0; i < len(frames); {
-		pf := e.pfileOf(frames[i].key.phys)
-		runOff := pf.offs[frames[i].key.idx]
-		e.scratch = e.scratch[:0]
-		run := 0
+		// Find the offset-contiguous run starting at i and size its buffer.
+		runOff := frames[i].pf.offs[frames[i].key.idx]
 		next := runOff
-		for i < len(frames) {
-			fr := frames[i]
-			fpf := e.pfileOf(fr.key.phys)
-			off := fpf.offs[fr.key.idx]
-			if off != next {
+		j := i
+		for j < len(frames) {
+			fr := frames[j]
+			if fr.pf.offs[fr.key.idx] != next {
 				break
 			}
+			next += int64(len(fr.cells)) * 8
+			j++
+		}
+		seg := &wbSeg{off: runOff, buf: getBuf(int(next - runOff))[:0], keys: make([]frameKey, 0, j-i)}
+		for ; i < j; i++ {
+			fr := frames[i]
+			fpf := fr.pf
 			for _, c := range fr.cells {
-				e.scratch = binary.LittleEndian.AppendUint64(e.scratch, uint64(c))
+				seg.buf = binary.LittleEndian.AppendUint64(seg.buf, uint64(c))
 			}
-			next = off + int64(len(fr.cells))*8
 			fpf.devCells[fr.key.idx] = len(fr.cells)
 			fr.dirty = false
 			delete(e.dirty, fr.key)
-			run++
-			i++
-		}
-		if _, err := e.f.WriteAt(e.scratch, runOff); err != nil {
-			panic(fmt.Sprintf("diskfile: pwrite %d bytes at %d: %v", len(e.scratch), runOff, err))
+			seg.keys = append(seg.keys, fr.key)
 		}
 		e.stats.WriteCalls++
-		e.stats.BlockWrites += int64(run)
+		e.stats.BlockWrites += int64(len(seg.keys))
+		if e.syncDev {
+			if _, err := e.f.WriteAt(seg.buf, seg.off); err != nil {
+				panic(fmt.Sprintf("diskfile: pwrite %d bytes at %d: %v", len(seg.buf), seg.off, err))
+			}
+			putBuf(seg.buf)
+			continue
+		}
+		for _, k := range seg.keys {
+			e.wbPending[k]++
+			e.physPending[k.phys]++
+		}
+		e.wbQueue = append(e.wbQueue, seg)
+		if n := int64(len(e.wbQueue)); n > e.stats.FlushQueueHiWater {
+			e.stats.FlushQueueHiWater = n
+		}
 	}
+	if !e.syncDev {
+		e.ioCond.Broadcast()
+	}
+}
+
+// writebackWorker is the flusher: it claims the whole queued backlog in FIFO
+// order, pwrites the segments with the mutex released, and publishes every
+// completion in one wakeup — draining in batches keeps the lock/wakeup cost
+// per segment negligible, so a producer in a flush burst rarely hits
+// backpressure. FIFO matters — two queued segments may target the same frame
+// (re-dirtied between flushes) or a freed-and-reused device offset, and queue
+// order is the order the device must observe.
+func (e *engine) writebackWorker() {
+	e.mu.Lock()
+	for {
+		for len(e.wbQueue) == 0 && !e.quit {
+			e.ioCond.Wait()
+		}
+		if len(e.wbQueue) == 0 {
+			break
+		}
+		batch := e.wbQueue
+		e.wbQueue = nil
+		overlapped := e.wbWaiters == 0
+		e.wbActive = true
+		e.mu.Unlock()
+		var firstErr error
+		for _, seg := range batch {
+			if firstErr == nil {
+				if _, err := e.f.WriteAt(seg.buf, seg.off); err != nil {
+					k := seg.keys[0]
+					firstErr = fmt.Errorf("diskfile: pwrite %d bytes at %d (phys %d frame %d, %d frames): %v",
+						len(seg.buf), seg.off, k.phys, k.idx, len(seg.keys), err)
+				}
+			}
+			putBuf(seg.buf)
+		}
+		e.mu.Lock()
+		e.wbActive = false
+		if firstErr != nil {
+			e.failAsync(firstErr)
+		}
+		if overlapped {
+			e.stats.OverlappedWrites += int64(len(batch))
+		}
+		for _, seg := range batch {
+			for _, k := range seg.keys {
+				if e.wbPending[k]--; e.wbPending[k] == 0 {
+					delete(e.wbPending, k)
+				}
+				if e.physPending[k.phys]--; e.physPending[k.phys] == 0 {
+					delete(e.physPending, k.phys)
+				}
+			}
+		}
+		e.ioCond.Broadcast()
+	}
+	e.mu.Unlock()
+	close(e.wbDone)
+}
+
+// drainWritebackLocked blocks until the flusher has landed every queued
+// segment. No-op in sync mode.
+func (e *engine) drainWritebackLocked() {
+	if e.syncDev {
+		return
+	}
+	e.wbWaiters++
+	for len(e.wbQueue) > 0 || e.wbActive {
+		e.ioCond.Wait()
+	}
+	e.wbWaiters--
 }
 
 // ensureAlloc gives frame k of pf a device offset, reusing freed frames of
 // the same size class before growing the file.
-func (e *Engine) ensureAlloc(pf *pfile, k int) {
+func (e *engine) ensureAlloc(pf *pfile, k int) {
 	for len(pf.offs) <= k {
 		pf.offs = append(pf.offs, -1)
 		pf.devCells = append(pf.devCells, 0)
@@ -514,8 +1034,37 @@ func (e *Engine) ensureAlloc(pf *pfile, k int) {
 	e.devEnd += pf.frameBytes
 }
 
-// pread reads cells cells at a device offset into dst (reused if possible).
-func (e *Engine) pread(off int64, cells int, dst []int64) []int64 {
+// preadGroup reads one contiguous run of frames with a single pread, inline
+// under the mutex (sync mode). The byte layout matches loadGroup: frame i of
+// the run starts at off + i*frameBytes, and only the final frame may be
+// partial on the device (a mid-run gap is always backed by the later frames'
+// written bytes, so the single pread never crosses EOF).
+func (e *engine) preadGroup(frs []*frame, off int64, cells []int) {
+	fb := int(frs[0].pf.frameBytes)
+	nbytes := fb*(len(frs)-1) + cells[len(frs)-1]*8
+	if cap(e.scratch) < nbytes {
+		e.scratch = make([]byte, nbytes)
+	}
+	buf := e.scratch[:nbytes]
+	if _, err := e.f.ReadAt(buf, off); err != nil {
+		panic(fmt.Sprintf("diskfile: pread %d bytes at %d: %v", nbytes, off, err))
+	}
+	for i, fr := range frs {
+		n := cells[i]
+		if cap(fr.cells) < n {
+			fr.cells = make([]int64, n)
+		}
+		fr.cells = fr.cells[:n]
+		b := buf[i*fb:]
+		for j := range fr.cells {
+			fr.cells[j] = int64(binary.LittleEndian.Uint64(b[j*8:]))
+		}
+	}
+}
+
+// pread reads cells cells at a device offset into dst (reused if possible);
+// sync mode only — the mutex is held across the syscall by design there.
+func (e *engine) pread(off int64, cells int, dst []int64) []int64 {
 	nbytes := cells * 8
 	if cap(e.scratch) < nbytes {
 		e.scratch = make([]byte, nbytes)

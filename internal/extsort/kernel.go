@@ -18,6 +18,7 @@
 package extsort
 
 import (
+	"runtime"
 	"sync"
 
 	"acyclicjoin/internal/extmem"
@@ -183,14 +184,34 @@ func formRuns[C rowCmp](f *extmem.File, cmp C, dedup bool) ([]*extmem.File, erro
 	return runs, nil
 }
 
-// stableSortRows sorts perm (row indices into buf, rows of width w) with a
-// bottom-up merge sort: stable, allocation-free (aux is caller-provided), and
-// all comparisons go through the monomorphized comparator.
+// parallelSortMin is the permutation length below which spawning goroutines
+// costs more than the sort itself; small runs stay sequential.
+const parallelSortMin = 2048
+
+// stableSortRows sorts perm (row indices into buf, rows of width w) stably.
+// Large permutations are split into contiguous chunks sorted concurrently
+// across GOMAXPROCS goroutines and merged pairwise in parallel rounds; a
+// stable sort's output is unique, so the result is bit-identical to the
+// sequential sort at any worker count. The work is CPU-only — comparisons of
+// already-resident rows — so the simulated machine's charges are untouched by
+// construction.
 func stableSortRows[C rowCmp](perm, aux []int32, buf []int64, w int, cmp C) {
 	n := len(perm)
 	if n < 2 {
 		return
 	}
+	if p := runtime.GOMAXPROCS(0); n >= parallelSortMin && p > 1 {
+		parallelStableSortRows(perm, aux, buf, w, cmp, p)
+		return
+	}
+	sequentialStableSortRows(perm, aux, buf, w, cmp)
+}
+
+// sequentialStableSortRows is the bottom-up merge sort: stable,
+// allocation-free (aux is caller-provided), and all comparisons go through
+// the monomorphized comparator.
+func sequentialStableSortRows[C rowCmp](perm, aux []int32, buf []int64, w int, cmp C) {
+	n := len(perm)
 	src, dst := perm, aux
 	for width := 1; width < n; width *= 2 {
 		for lo := 0; lo < n; lo += 2 * width {
@@ -229,6 +250,83 @@ func stableSortRows[C rowCmp](perm, aux []int32, buf []int64, w int, cmp C) {
 	if &src[0] != &perm[0] {
 		copy(perm, src)
 	}
+}
+
+// parallelStableSortRows sorts perm with p-way chunk parallelism: contiguous
+// chunks are sorted concurrently (each entirely within its own perm/aux
+// windows), then adjacent pairs are stably merged in parallel rounds,
+// alternating between perm and aux as source and destination. Merges prefer
+// the left (earlier) run on ties, so stability — and therefore the unique
+// output permutation — is preserved.
+func parallelStableSortRows[C rowCmp](perm, aux []int32, buf []int64, w int, cmp C, p int) {
+	n := len(perm)
+	chunk := (n + p - 1) / p
+	bounds := make([]int, 0, p+1)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, lo)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sequentialStableSortRows(perm[lo:hi], aux[lo:hi], buf, w, cmp)
+		}(lo, hi)
+	}
+	bounds = append(bounds, n)
+	wg.Wait()
+
+	// Each round halves the chunk count. Chunk sorts leave their results in
+	// perm, so the first round merges perm -> aux.
+	src, dst := perm, aux
+	for len(bounds) > 2 {
+		next := make([]int, 0, len(bounds)/2+2)
+		var mw sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			next = append(next, lo)
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				mergeRows(src, dst, lo, mid, hi, buf, w, cmp)
+			}(lo, mid, hi)
+		}
+		if i+1 < len(bounds) {
+			// Odd chunk count: the unpaired tail carries over unchanged.
+			lo := bounds[i]
+			next = append(next, lo)
+			copy(dst[lo:n], src[lo:n])
+		}
+		next = append(next, n)
+		mw.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+}
+
+// mergeRows stably merges the sorted row-index runs src[lo:mid] and
+// src[mid:hi] into dst[lo:hi], preferring the left run on ties.
+func mergeRows[C rowCmp](src, dst []int32, lo, mid, hi int, buf []int64, w int, cmp C) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		a, b := int(src[i]), int(src[j])
+		if cmp.compare(buf[a*w:a*w+w], buf[b*w:b*w+w]) <= 0 {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:hi], src[i:mid])
+	copy(dst[k:hi], src[j:hi])
 }
 
 // loserTree merges k runs with a tournament tree of losers: each pop costs

@@ -24,7 +24,11 @@ func newBackendDisk(p Params, cfg extmem.Config) *extmem.Disk {
 	case "", "sim":
 		return extmem.NewDisk(cfg)
 	case "file":
-		eng, err := diskfile.Open(p.DataDir, cfg)
+		open := diskfile.Open // async unless ACYCLICJOIN_SYNC_DEVICE is set
+		if p.SyncDevice {
+			open = diskfile.OpenSync
+		}
+		eng, err := open(p.DataDir, cfg)
 		if err != nil {
 			panic(fmt.Sprintf("harness: open file backend: %v", err))
 		}

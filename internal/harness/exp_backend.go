@@ -8,6 +8,7 @@ import (
 
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/extmem/diskfile"
 	"acyclicjoin/internal/tuple"
 )
 
@@ -145,7 +146,10 @@ func runE27(p Params) (*Table, error) {
 type BackendBenchResult struct {
 	M, B, Scale int
 	Seed        int64
-	Workloads   []BackendBenchRow
+	// SyncDevice records which device path the file arms ran: true is the
+	// synchronous inline path, false the asynchronous pipeline.
+	SyncDevice bool
+	Workloads  []BackendBenchRow
 }
 
 // BackendBenchRow reports one workload's sim-vs-file differential outcome.
@@ -165,29 +169,53 @@ type BackendBenchRow struct {
 	PrefetchWasted int64 // prefetched frames evicted or overwritten untouched
 	Evictions      int64
 	VerifiedCells  int64
-	Parity         bool // stats == transfers on both backends; engine billed == performed
-	Identical      bool // rows, policy, exec stats, full stats, ledger bit-identical
-	WallNanosSim   int64
-	WallNanosFile  int64
-	Slowdown       float64 // file wall / sim wall
+	// Async-pipeline telemetry (zero on the synchronous device path); these
+	// four are timing-dependent and live only here, never in the
+	// deterministic experiment tables.
+	OverlappedWrites  int64
+	FlushQueueHiWater int64
+	PrefetchInFlight  int64
+	DemandWaits       int64
+	Parity            bool // stats == transfers on both backends; engine billed == performed
+	Identical         bool // rows, policy, exec stats, full stats, ledger bit-identical
+	WallNanosSim      int64
+	WallNanosFile     int64
+	Slowdown          float64 // file wall / sim wall
 }
 
 // BackendBench runs the E27 differential on every memo workload and returns
-// the machine-readable record, wall-clock included.
+// the machine-readable record, wall-clock included. Wall clocks are
+// best-of-3 per arm (the GreedyBench convention): the runs are deterministic,
+// so repetitions change nothing but scheduler noise, and every repetition
+// still passes the full differential contract.
 func BackendBench(p Params) (*BackendBenchResult, error) {
 	p = p.WithDefaults()
-	res := &BackendBenchResult{M: p.M, B: p.B, Scale: p.Scale, Seed: p.Seed}
+	res := &BackendBenchResult{M: p.M, B: p.B, Scale: p.Scale, Seed: p.Seed,
+		SyncDevice: p.SyncDevice || diskfile.SyncFromEnv()}
+	const reps = 3
 	for w := range memoWorkloads {
 		name := memoWorkloads[w].name
-		sim, err := backendArm(p, w, "sim", 0)
-		if err != nil {
-			return nil, err
+		var sim, file *backendRun
+		var cmpErr error
+		for i := 0; i < reps; i++ {
+			s, err := backendArm(p, w, "sim", 0)
+			if err != nil {
+				return nil, err
+			}
+			f, err := backendArm(p, w, "file", 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := compareBackendRuns(name, s, f); err != nil {
+				cmpErr = err
+			}
+			if sim == nil || s.wall < sim.wall {
+				sim = s
+			}
+			if file == nil || f.wall < file.wall {
+				file = f
+			}
 		}
-		file, err := backendArm(p, w, "file", 0)
-		if err != nil {
-			return nil, err
-		}
-		cmpErr := compareBackendRuns(name, sim, file)
 		row := BackendBenchRow{
 			Name: name, Rows: file.rows, IOs: file.full.IOs(),
 			XferReads: file.xfer.Reads, XferWrites: file.xfer.Writes,
@@ -195,12 +223,16 @@ func BackendBench(p Params) (*BackendBenchResult, error) {
 			ReadCalls: file.dev.ReadCalls, WriteCalls: file.dev.WriteCalls,
 			CacheHits: file.dev.CacheHits, Prefetched: file.dev.Prefetched,
 			PrefetchHits: file.dev.PrefetchHits, PrefetchWasted: file.dev.PrefetchWasted,
-			Evictions:     file.dev.Evictions,
-			VerifiedCells: file.dev.VerifiedCells,
-			Parity:        cmpErr == nil,
-			Identical:     cmpErr == nil,
-			WallNanosSim:  sim.wall.Nanoseconds(),
-			WallNanosFile: file.wall.Nanoseconds(),
+			Evictions:         file.dev.Evictions,
+			VerifiedCells:     file.dev.VerifiedCells,
+			OverlappedWrites:  file.dev.OverlappedWrites,
+			FlushQueueHiWater: file.dev.FlushQueueHiWater,
+			PrefetchInFlight:  file.dev.PrefetchInFlight,
+			DemandWaits:       file.dev.DemandWaits,
+			Parity:            cmpErr == nil,
+			Identical:         cmpErr == nil,
+			WallNanosSim:      sim.wall.Nanoseconds(),
+			WallNanosFile:     file.wall.Nanoseconds(),
 		}
 		if sim.wall > 0 {
 			row.Slowdown = float64(file.wall) / float64(sim.wall)

@@ -60,9 +60,11 @@ import (
 )
 
 // Stats reports memo effectiveness counters. The counters are host-side
-// diagnostics only — they never feed back into simulated I/O — and under
-// concurrent branch exploration the hit/miss split can vary run to run (two
-// branches may both miss on the same key before either stores).
+// diagnostics only — they never feed back into simulated I/O. Concurrent
+// lookups of the same logical operator singleflight on its content hash (the
+// second requester waits for the first compute, then replays), so the
+// hit/miss split is deterministic even under concurrent branch exploration:
+// one miss per distinct operator, a hit for every other request.
 type Stats struct {
 	// Hits and Misses count lookups on memoized operator paths.
 	Hits, Misses int64
@@ -131,14 +133,28 @@ type Memo struct {
 	lim    Limits
 	byID   map[string]*entry
 	byHash map[uint64][]*entry
-	lru    *list.List // front = most recently used; values are *entry
-	tuples int64
-	stats  Stats
+	// inflight singleflights concurrent misses by content hash: the first
+	// requester computes, later requesters wait on the flight and then replay
+	// the stored entry. Without it, two branches racing to the same logical
+	// operator would both compute, and the performed/replayed transfer split
+	// would depend on worker timing instead of being a pure function of the
+	// branch set.
+	inflight map[uint64]*flight
+	lru      *list.List // front = most recently used; values are *entry
+	tuples   int64
+	stats    Stats
+}
+
+// flight is one in-progress compute; done is closed when it finishes (stored,
+// failed, or aborted — waiters re-check the memo and recompute if needed).
+type flight struct {
+	done chan struct{}
 }
 
 // New returns an empty memo with the given limits (zero-value = unbounded).
 func New(lim Limits) *Memo {
-	return &Memo{lim: lim, byID: map[string]*entry{}, byHash: map[uint64][]*entry{}, lru: list.New()}
+	return &Memo{lim: lim, byID: map[string]*entry{}, byHash: map[uint64][]*entry{},
+		inflight: map[uint64]*flight{}, lru: list.New()}
 }
 
 // Enable attaches a fresh unbounded memo to d (replacing any previous one)
@@ -215,31 +231,56 @@ func Do(d *extmem.Disk, op Op, run func() ([]*extmem.File, []int64, error)) ([]*
 func (m *Memo) do(d *extmem.Disk, op Op, run func() ([]*extmem.File, []int64, error)) ([]*extmem.File, []int64, error) {
 	id := idString(d, op)
 	m.mu.Lock()
-	e, ok := m.byID[id]
-	if ok && !equalData(e.aux, op.Aux) {
-		// The aux hash folded into the id collided; treat as a miss.
-		e, ok = nil, false
-	}
 	var h uint64
-	if !ok {
-		// Slow path: find by content hash and byte-verify.
-		h = hashOp(d, op)
-		for _, cand := range m.byHash[h] {
-			if verify(cand, op) {
-				cand.ids = append(cand.ids, id)
-				m.byID[id] = cand // alias: future runs take the fast path
-				e, ok = cand, true
-				break
+	haveHash := false
+	for {
+		e, ok := m.byID[id]
+		if ok && !equalData(e.aux, op.Aux) {
+			// The aux hash folded into the id collided; treat as a miss.
+			e, ok = nil, false
+		}
+		if !ok {
+			// Slow path: find by content hash and byte-verify.
+			if !haveHash {
+				h = hashOp(d, op)
+				haveHash = true
+			}
+			for _, cand := range m.byHash[h] {
+				if verify(cand, op) {
+					cand.ids = append(cand.ids, id)
+					m.byID[id] = cand // alias: future runs take the fast path
+					e, ok = cand, true
+					break
+				}
 			}
 		}
-	}
-	if ok {
-		m.touch(e)
+		if ok {
+			m.touch(e)
+			m.mu.Unlock()
+			return m.replay(d, e)
+		}
+		// Singleflight: if another goroutine is computing this content hash,
+		// wait it out and re-check — its stored entry turns this miss into a
+		// replay. A flight that fails or aborts stores nothing; the loop then
+		// claims the flight itself.
+		c := m.inflight[h]
+		if c == nil {
+			break
+		}
 		m.mu.Unlock()
-		return m.replay(d, e)
+		<-c.done
+		m.mu.Lock()
 	}
+	c := &flight{done: make(chan struct{})}
+	m.inflight[h] = c
 	m.stats.Misses++
 	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.inflight, h)
+		m.mu.Unlock()
+		close(c.done)
+	}()
 
 	d.StartTape()
 	taping := true

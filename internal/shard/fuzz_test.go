@@ -90,5 +90,8 @@ func FuzzShardOracle(f *testing.F) {
 		if tot := res.Load.Rounds[0].Total(); tot < res.Load.InputTuples {
 			t.Fatalf("p=%d: distributed %d tuples < input %d", p, tot, res.Load.InputTuples)
 		}
+		if res.Load.Bypass != (p == 1) {
+			t.Fatalf("p=%d: Bypass=%v, want it exactly at p=1", p, res.Load.Bypass)
+		}
 	})
 }

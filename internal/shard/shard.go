@@ -75,14 +75,19 @@ const MaxShards = 256
 
 // Options configures a sharded run.
 type Options struct {
-	// Shards is p, the number of simulated servers. 1 still runs the full
-	// distribute/compute machinery on a single server (the honest 1-server
-	// baseline for load and speedup comparisons).
+	// Shards is p, the number of simulated servers. 1 takes the bypass fast
+	// path: with a single server the partition scan, the distribute round's
+	// buffering, the child disk, and the per-server emission buffer are pure
+	// overhead, so the query runs unsharded directly on the parent disk and
+	// the Load telemetry reports Bypass with synthetic distribute/compute
+	// rounds (trivially balanced: one server receives everything).
 	Shards int
 	// Core configures each server's local evaluation. AssumeReduced is
 	// overridden to false: a server's fragment of a reduced instance is not
 	// itself reduced, and the defensive semijoins are what keep dangling
-	// broadcast tuples out of the output.
+	// broadcast tuples out of the output. The Shards=1 bypass is the
+	// exception — its "fragment" is the whole instance, so the caller's
+	// setting stands, exactly as in an unsharded run.
 	Core core.Options
 	// NoHeavySplit disables heavy-hitter splitting: every tuple of a hashed
 	// relation goes to the server owning its value, however heavy. Correct,
@@ -179,8 +184,14 @@ type LoadStats struct {
 	PartitionAttr int
 	// AnchorEdge is the relation dealt round-robin in anchor mode, else -1.
 	AnchorEdge int
+	// Bypass reports the Shards=1 fast path: no distribution machinery ran,
+	// the query executed unsharded on the parent disk, and the Rounds below
+	// are synthetic (the whole input "received" by the one server, then the
+	// run's charged I/Os).
+	Bypass bool
 	// HashedRelations and BroadcastRelations count how each relation was
-	// distributed; they sum to the query's relation count.
+	// distributed; they sum to the query's relation count (both zero on the
+	// bypass, which distributes nothing).
 	HashedRelations, BroadcastRelations int
 	// InputTuples is the total input size N (after reduction).
 	InputTuples int64
@@ -239,7 +250,10 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit core.Emit, opts Options
 	parent := parentDisk(g, in)
 	if parent == nil {
 		// Every relation is empty and diskless; nothing to do.
-		return &Result{Load: LoadStats{Shards: p, PartitionAttr: -1, AnchorEdge: -1}}, nil
+		return &Result{Load: LoadStats{Shards: p, Bypass: p == 1, PartitionAttr: -1, AnchorEdge: -1}}, nil
+	}
+	if p == 1 {
+		return runBypass(g, in, emit, opts, parent)
 	}
 
 	// The coordinator's scans (statistics + distribution) run outside
@@ -327,6 +341,58 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit core.Emit, opts Options
 		}
 	}
 	return res, nil
+}
+
+// runBypass is the Shards=1 fast path. Hashing onto one server is the
+// identity distribution, so the partition scan, the distribution read/write,
+// the child disk, and the emission buffer would all be overhead with no
+// balancing to measure: the query runs unsharded with core.Run directly on
+// the parent disk, emitting in place. The charge profile is therefore exactly
+// the unsharded run's — in particular the distribution writes the p>1 path
+// bills are absent.
+func runBypass(g *hypergraph.Graph, in relation.Instance, emit core.Emit, opts Options, parent *extmem.Disk) (*Result, error) {
+	var n int64
+	for _, id := range relation.SortedEdgeIDs(g) {
+		n += int64(in[id].Len())
+	}
+	before := parent.Stats()
+	r, err := core.Run(g, in, emit, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Emitted:        r.Emitted,
+		ExecStats:      r.ExecStats,
+		TotalStats:     r.TotalStats,
+		Branches:       r.Branches,
+		Prune:          r.Prune,
+		ClampedChoices: r.ClampedChoices,
+		Load:           BypassLoad(n, parent.Stats().Sub(before).IOs()),
+	}, nil
+}
+
+// BypassLoad builds the LoadStats a Shards=1 bypass reports: synthetic
+// "distribute" and "compute" rounds keep the two-round shape every consumer
+// indexes, with the one server receiving all inputTuples (bound N, ratio 1)
+// and charging computeIOs block I/Os. The root package reuses it when an
+// explicit -shards 1 run takes the unsharded executor directly.
+func BypassLoad(inputTuples, computeIOs int64) LoadStats {
+	rep := 0.0
+	if inputTuples > 0 {
+		rep = 1.0
+	}
+	return LoadStats{
+		Shards:        1,
+		Bypass:        true,
+		PartitionAttr: -1,
+		AnchorEdge:    -1,
+		InputTuples:   inputTuples,
+		Replication:   rep,
+		Rounds: []RoundLoad{
+			{Name: "distribute", PerShard: []int64{inputTuples}, Bound: inputTuples},
+			{Name: "compute", PerShard: []int64{computeIOs}, Bound: computeIOs},
+		},
+	}
 }
 
 // shardOutcome is one server's compute-round result.

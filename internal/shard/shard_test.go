@@ -143,6 +143,10 @@ func TestShardMatchesUnsharded(t *testing.T) {
 				if res.Load.Shards != p || len(res.Load.Rounds) != 2 {
 					t.Errorf("%s p=%d: bad LoadStats %+v", shape.name, p, res.Load)
 				}
+				if res.Load.Bypass != (p == 1) {
+					t.Errorf("%s p=%d: Bypass=%v, want it exactly at p=1",
+						shape.name, p, res.Load.Bypass)
+				}
 				if tot := res.Load.Rounds[0].Total(); tot < res.Load.InputTuples {
 					t.Errorf("%s p=%d: distributed %d tuples < input %d",
 						shape.name, p, tot, res.Load.InputTuples)

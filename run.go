@@ -135,6 +135,16 @@ type Options struct {
 	// lives only as an open descriptor and is reclaimed even on a crash).
 	// Ignored by the sim backend.
 	DataDir string
+	// SyncDevice forces the file backend's synchronous device path: charged
+	// writes pwrite inline and demand misses pread before the charged
+	// operation returns, with no background writeback or prefetch workers.
+	// Off (the default) uses the asynchronous device pipeline; the
+	// ACYCLICJOIN_SYNC_DEVICE environment variable also forces the
+	// synchronous path when this field is false. Every charged counter,
+	// verification, and emitted row is bit-identical either way — the knob
+	// trades only wall-clock overlap and exists as an escape hatch and for
+	// A/B benchmarking. Ignored by the sim backend.
+	SyncDevice bool
 	// Shards is p, the number of simulated MPC servers the join executes
 	// across (internal/shard): after the full reduction the input is
 	// hash-partitioned on a join attribute — heavy hitters split across
@@ -144,7 +154,9 @@ type Options struct {
 	// accounting. 0 (the default) falls back to the ACYCLICJOIN_SHARDS
 	// environment variable, and failing that to 1; at 1 the shard machinery
 	// is bypassed entirely and the run is the classic single-server
-	// execution. The emitted row MULTISET is bit-identical at every shard
+	// execution — when sharding was explicitly requested (field or env set),
+	// Result.Shards still reports the bypass via LoadStats.Bypass. The
+	// emitted row MULTISET is bit-identical at every shard
 	// count (on both backends, all memo modes); the emission order is
 	// server-major, so it differs from the unsharded order. Sharded runs
 	// always use Algorithm 2 — the Section 6 line dispatcher is a
@@ -404,6 +416,17 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 		work = red
 	}
 
+	// An explicit shards=1 request takes the unsharded executor below (the
+	// bypass) but still reports Result.Shards; capture N now, while the
+	// reduced relations are untouched (Len is charge-free).
+	shardBypass := shards == 1 && cli.ShardsRequested(opts.Shards)
+	var shardInputN int64
+	if shardBypass {
+		for _, id := range relation.SortedEdgeIDs(q.graph) {
+			shardInputN += int64(work[id].Len())
+		}
+	}
+
 	// Emit adapter: decode assignments into Rows.
 	attrOrder := make([]string, len(q.attrNames))
 	copy(attrOrder, q.attrNames)
@@ -484,6 +507,10 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 			count = r.Emitted
 		}
 	}
+	if shardBypass {
+		load := shard.BypassLoad(shardInputN, disk.Stats().IOs())
+		res.Shards = &load
+	}
 	res.Count = count
 	res.Faults = disk.FaultStats()
 	res.Backend = disk.BackendName()
@@ -503,7 +530,11 @@ func newBackendDisk(cfg extmem.Config, opts Options) (*extmem.Disk, func(), erro
 	case "sim":
 		return extmem.NewDisk(cfg), func() {}, nil
 	case "file":
-		eng, err := diskfile.Open(opts.DataDir, cfg)
+		open := diskfile.Open // async unless ACYCLICJOIN_SYNC_DEVICE is set
+		if opts.SyncDevice {
+			open = diskfile.OpenSync
+		}
+		eng, err := open(opts.DataDir, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("acyclicjoin: open file backend: %w", err)
 		}

@@ -27,6 +27,8 @@ func shardRunRows(t *testing.T, q *Query, inst *Instance, opts Options) (*Result
 // emitted row multiset and Count must match the GenericJoin oracle exactly;
 // row ORDER must additionally be bit-identical across backends at the same
 // shard count (the sharded executor sits entirely above the storage seam).
+// An explicit shards=1 must take the bypass fast path and say so in the
+// LoadStats; a default (unrequested) run must keep Result.Shards nil.
 func TestShardDifferentialPublicAPI(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		rng := rand.New(rand.NewSource(int64(6000 + trial)))
@@ -65,16 +67,15 @@ func TestShardDifferentialPublicAPI(t *testing.T) {
 							label, i, simRows[i], fileRows[i])
 					}
 				}
-				if shards > 1 {
-					s := simRes.Shards
-					if s == nil || s.Shards != shards {
-						t.Fatalf("%s: Result.Shards = %+v, want %d servers", label, s, shards)
-					}
-					if len(s.Rounds) != 2 || s.Rounds[0].Total() < s.InputTuples {
-						t.Fatalf("%s: bad load accounting %+v", label, s)
-					}
-				} else if simRes.Shards != nil {
-					t.Fatalf("%s: unsharded run reported LoadStats %+v", label, simRes.Shards)
+				s := simRes.Shards
+				if s == nil || s.Shards != shards {
+					t.Fatalf("%s: Result.Shards = %+v, want %d servers", label, s, shards)
+				}
+				if s.Bypass != (shards == 1) {
+					t.Fatalf("%s: Bypass = %v, want it exactly on the shards=1 fast path", label, s.Bypass)
+				}
+				if len(s.Rounds) != 2 || s.Rounds[0].Total() < s.InputTuples {
+					t.Fatalf("%s: bad load accounting %+v", label, s)
 				}
 			}
 		}
