@@ -71,6 +71,7 @@ func BenchmarkE26ChaosSweep(b *testing.B)          { benchExperiment(b, "E26", b
 func BenchmarkE27BackendDifferential(b *testing.B) { benchExperiment(b, "E27", benchParams) }
 func BenchmarkE28GreedyPlanner(b *testing.B)       { benchExperiment(b, "E28", benchParams) }
 func BenchmarkE29ShardParallel(b *testing.B)       { benchExperiment(b, "E29", benchParams) }
+func BenchmarkE30DeviceChaos(b *testing.B)         { benchExperiment(b, "E30", benchParams) }
 
 // BenchmarkPublicAPIRun measures the end-to-end public API on a skewed
 // 3-hop path query, reporting simulated I/Os per operation.

@@ -1,6 +1,6 @@
 // Command joinbench regenerates the paper's tables and figures as measured
 // experiments on the simulated external-memory machine. Without flags it
-// runs the full registry (E1-E29, see DESIGN.md for the mapping to paper
+// runs the full registry (E1-E30, see DESIGN.md for the mapping to paper
 // artifacts); -exp selects a single experiment.
 //
 // Usage:
@@ -11,6 +11,7 @@
 //	          [-benchjson BENCH_opcache.json] [-prunejson BENCH_prune.json]
 //	          [-chaosjson BENCH_chaos.json] [-backendjson BENCH_backend.json]
 //	          [-greedyjson BENCH_greedy.json] [-shardjson BENCH_shards.json]
+//	          [-devchaosjson BENCH_devchaos.json] [-devfaultrate 0.02]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -41,7 +42,9 @@ type config struct {
 	syncdevice                      bool
 	benchjson, prunejson, chaosjson string
 	backendjson, greedyjson         string
-	shardjson                       string
+	shardjson, devchaosjson         string
+	devfaultrate                    float64
+	devfaultseed                    int64
 	cpuprof, memprof                string
 }
 
@@ -69,6 +72,9 @@ func main() {
 	flag.StringVar(&c.shardjson, "shardjson", "", "write the machine-readable sharding benchmark (load vs the instance-optimal bound, heavy-hitter effect, wall-clock speedup on the file backend) to this file and exit")
 	flag.IntVar(&c.shards, "shards", 0, "add a shard-parallel differential arm at this many simulated MPC servers to the -verify sweep; 0 falls back to $ACYCLICJOIN_SHARDS, then 1 (no shard arm); experiments pin their shard counts and ignore this")
 	flag.StringVar(&c.strategy, "strategy", "", "restrict the -verify sweep to one peeling strategy: exhaustive, first, smallest, or greedy; empty falls back to $ACYCLICJOIN_STRATEGY, then the full sweep")
+	flag.StringVar(&c.devchaosjson, "devchaosjson", "", "write the machine-readable device-chaos benchmark (syscall fault rates x device modes on the file backend, bit-identity, injection/recovery telemetry) to this file and exit")
+	flag.Float64Var(&c.devfaultrate, "devfaultrate", 0, "inject transient device-level syscall faults at this per-call probability on every file-backend experiment machine (deterministic per -devfaultseed; tables stay byte-identical, recovery is reported separately); 0 falls back to $ACYCLICJOIN_DEVFAULTRATE; no-op on the sim backend")
+	flag.Int64Var(&c.devfaultseed, "devfaultseed", 0, "seed for the injected device fault schedule; 0 falls back to $ACYCLICJOIN_DEVFAULTSEED, then 1")
 	flag.StringVar(&c.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = no limit); completed tables are still printed")
@@ -139,7 +145,8 @@ func run(ctx context.Context, c config) int {
 	p := harness.Params{M: c.m, B: c.b, Scale: c.scale, Seed: c.seed,
 		NoMemo: !c.opcache, NoSortCache: !c.sortcache, NoPrune: !c.prune,
 		Backend: c.backend, DataDir: c.datadir, SyncDevice: c.syncdevice,
-		Strategy: c.strategy, Shards: c.shards}
+		Strategy: c.strategy, Shards: c.shards,
+		DevFaultRate: c.devfaultrate, DevFaultSeed: c.devfaultseed}
 
 	if c.prunejson != "" {
 		res, err := harness.PruneBench(p)
@@ -189,6 +196,23 @@ func run(ctx context.Context, c config) int {
 			fmt.Printf("%-17s rate=%.2f workers=%d rows=%d execIOs=%d identical=%v transient=%d boundary retries=%d retry IOs=%d backoff IOs=%d\n",
 				w.Name, w.Rate, w.Workers, w.Rows, w.ExecIOs, w.Identical,
 				w.Transient, w.BoundaryRetries, w.RetryIOs, w.BackoffIOs)
+		}
+		return 0
+	}
+
+	if c.devchaosjson != "" {
+		res, err := harness.DevChaosBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "device chaos bench: %v\n", err)
+			return 1
+		}
+		if writeJSON(c.devchaosjson, res, "device chaos bench") != nil {
+			return 1
+		}
+		for _, w := range res.Workloads {
+			fmt.Printf("%-17s rate=%.2f torn=%.2f %s rows=%d execIOs=%d identical=%v injected r/w=%d/%d torn=%d retries=%d repairs=%d backoff IOs=%d\n",
+				w.Name, w.Rate, w.TornRate, w.Mode, w.Rows, w.ExecIOs, w.Identical,
+				w.InjectedReads, w.InjectedWrites, w.TornWrites, w.Retries, w.Repairs, w.BackoffIOs)
 		}
 		return 0
 	}

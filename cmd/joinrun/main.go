@@ -41,6 +41,8 @@ func main() {
 		datadir   = flag.String("datadir", "", "directory for the file backend's backing file (default $ACYCLICJOIN_DATADIR, then an unlinked temp file)")
 		syncDev   = flag.Bool("syncdevice", false, "force the file backend's synchronous device path (inline pread/pwrite, no overlap workers); default async unless $ACYCLICJOIN_SYNC_DEVICE is set; results and I/O figures are bit-identical either way")
 		shards    = flag.Int("shards", 0, "execute across this many simulated MPC servers, hash-sharding the input with heavy-hitter splitting (the result multiset is identical at any count; row order is server-major); 0 falls back to $ACYCLICJOIN_SHARDS, then 1 (unsharded)")
+		devRate   = flag.Float64("devfaultrate", 0, "inject transient device-level syscall faults on the file backend at this per-call probability (deterministic per -devfaultseed); the engine retries below the backend seam, so results and I/O figures stay bit-identical and recovery cost is reported separately; 0 falls back to $ACYCLICJOIN_DEVFAULTRATE; no-op on the sim backend")
+		devSeed   = flag.Int64("devfaultseed", 0, "seed for the injected device fault schedule; 0 falls back to $ACYCLICJOIN_DEVFAULTSEED, then 1")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -80,6 +82,19 @@ func main() {
 		Backend: *backend, DataDir: *datadir, SyncDevice: *syncDev, Shards: *shards}
 	if *faultRate > 0 {
 		opts.Faults = &acyclicjoin.FaultPlan{Seed: *faultSeed, TransientRate: *faultRate}
+	}
+	if *devRate > 0 || *devSeed != 0 {
+		rate, rerr := cli.DevFaultRate(*devRate)
+		if rerr != nil {
+			fatal("%v", rerr)
+		}
+		seed, serr := cli.DevFaultSeed(*devSeed)
+		if serr != nil {
+			fatal("%v", serr)
+		}
+		if rate > 0 {
+			opts.DeviceFaults = &acyclicjoin.DeviceFaultPlan{Seed: seed, Rate: rate}
+		}
 	}
 	opts.Strategy, err = acyclicjoin.ParseStrategy(cli.StrategyName(*strat))
 	if err != nil {
@@ -141,6 +156,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "shards: %d servers%s, max load %d vs bound %d (%.2fx), replication %.2fx, %d heavy values split\n",
 			s.Shards, note, d.Max(), d.Bound, d.Ratio(), s.Replication, s.HeavyValues)
+	}
+	if res.Degraded {
+		fmt.Fprintln(os.Stderr, "degraded: device declared dead; results recomputed on the counting simulator")
 	}
 	if res.Faults.Any() {
 		fmt.Fprintf(os.Stderr, "faults: %s\n", res.Faults)

@@ -29,6 +29,17 @@ type FaultStats = extmem.FaultStats
 // records the faulted operation, its I/O index, and the phase.
 type FaultError = extmem.FaultError
 
+// DeviceFaultPlan is a deterministic, seeded schedule of syscall-level faults
+// for the file backend's storage engine; attach one via Options.DeviceFaults.
+// See extmem.DeviceFaultPlan for field semantics.
+type DeviceFaultPlan = extmem.DeviceFaultPlan
+
+// DeviceFaultStats is the device-fault side channel reported on
+// Result.Faults.Device: injected syscall failures, torn writes, the engine's
+// retries/repairs, and the degraded-fallback flag. Like FaultStats, it never
+// touches the main Stats.
+type DeviceFaultStats = extmem.DeviceFaultStats
+
 // Typed failure sentinels. Errors returned by RunContext satisfy
 // errors.Is against exactly one of these when the run was aborted:
 //
@@ -39,15 +50,26 @@ type FaultError = extmem.FaultError
 //     *FaultError.
 //   - ErrBudget: a charge-budget watermark escaped its catcher — an
 //     internal invariant violation surfaced instead of hidden.
+//   - ErrDevice: the file backend's device failed permanently (a syscall
+//     kept failing after the engine's bounded retries). With
+//     DeviceFaultPlan.Degrade set the run is transparently re-run on the
+//     counting simulator instead; see Options.DeviceFaults.
+//   - ErrNoSpace: the file backend's device ran out of space growing the
+//     backing arena.
+//   - ErrCorruption: a device frame disagreed with the authoritative
+//     in-memory image and could not be repaired.
 //   - ErrInternal: an unclassified panic crossed the public boundary.
 //
 // Validation errors (malformed queries, bad configuration) are returned
 // as-is and match none of the sentinels.
 var (
-	ErrCancelled = extmem.ErrCancelled
-	ErrBudget    = extmem.ErrBudgetExceeded
-	ErrFault     = errors.New("acyclicjoin: permanent I/O fault")
-	ErrInternal  = errors.New("acyclicjoin: internal error")
+	ErrCancelled  = extmem.ErrCancelled
+	ErrBudget     = extmem.ErrBudgetExceeded
+	ErrFault      = errors.New("acyclicjoin: permanent I/O fault")
+	ErrDevice     = extmem.ErrDevice
+	ErrNoSpace    = extmem.ErrNoSpace
+	ErrCorruption = extmem.ErrCorruption
+	ErrInternal   = errors.New("acyclicjoin: internal error")
 )
 
 // classifyErr maps an error returned by the engine onto the public
@@ -85,7 +107,8 @@ func classifyAbort(v any) error {
 
 // isAbortErr reports whether err carries one of the abort sentinels.
 func isAbortErr(err error) bool {
-	return errors.Is(err, ErrCancelled) || errors.Is(err, ErrFault) || errors.Is(err, ErrBudget)
+	return errors.Is(err, ErrCancelled) || errors.Is(err, ErrFault) ||
+		errors.Is(err, ErrBudget) || extmem.IsDeviceFailure(err)
 }
 
 // partialResult assembles the telemetry-only Result returned alongside an

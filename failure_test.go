@@ -105,7 +105,12 @@ func TestRunContextCancelMidRun(t *testing.T) {
 // to the fault-free run; the retries show up only on Result.Faults.
 func TestRunTransientFaultsBitIdentical(t *testing.T) {
 	q, inst := chaosQuery(t, 4)
-	want, err := Run(q, inst, smallOpts(), nil)
+	// An explicit (disabled) device plan shadows $ACYCLICJOIN_DEVFAULTRATE:
+	// this test asserts a *fault-free* baseline, which CI's chaos-device job
+	// would otherwise perturb with device-level injection.
+	base := smallOpts()
+	base.DeviceFaults = &DeviceFaultPlan{}
+	want, err := Run(q, inst, base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +118,7 @@ func TestRunTransientFaultsBitIdentical(t *testing.T) {
 		t.Fatalf("fault-free run reports faults: %+v", want.Faults)
 	}
 	for _, rate := range []float64{0.01, 0.1} {
-		opts := smallOpts()
+		opts := base
 		opts.Faults = &FaultPlan{Seed: 11, TransientRate: rate, MaxAttempts: 100000}
 		got, err := Run(q, inst, opts, nil)
 		if err != nil {

@@ -17,6 +17,11 @@ const (
 	EnvDataDir = "ACYCLICJOIN_DATADIR"
 	// EnvShards sets the MPC server count for shard-parallel execution.
 	EnvShards = "ACYCLICJOIN_SHARDS"
+	// EnvDevFaultRate sets the per-syscall transient fault probability for
+	// the file backend's device-level chaos rig (internal/extmem/faultbackend).
+	EnvDevFaultRate = "ACYCLICJOIN_DEVFAULTRATE"
+	// EnvDevFaultSeed seeds the device-level fault schedule.
+	EnvDevFaultSeed = "ACYCLICJOIN_DEVFAULTSEED"
 )
 
 // StrategyName resolves a -strategy selection: the flag value when nonempty,
@@ -62,6 +67,45 @@ func Shards(flag int) (int, error) {
 	n, err := strconv.Atoi(s)
 	if err != nil || n < 1 {
 		return 0, fmt.Errorf("bad %s=%q (want a positive integer)", EnvShards, s)
+	}
+	return n, nil
+}
+
+// DevFaultRate resolves a -devfaultrate selection: the flag value when
+// nonzero, else $ACYCLICJOIN_DEVFAULTRATE, else 0 (no device faults). An
+// environment value that is set must parse as a probability in [0, 1].
+// Errors carry no package prefix so callers can wrap them under their own
+// name.
+func DevFaultRate(flag float64) (float64, error) {
+	if flag != 0 {
+		return flag, nil
+	}
+	s := os.Getenv(EnvDevFaultRate)
+	if s == "" {
+		return 0, nil
+	}
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil || r < 0 || r > 1 {
+		return 0, fmt.Errorf("bad %s=%q (want a probability in [0, 1])", EnvDevFaultRate, s)
+	}
+	return r, nil
+}
+
+// DevFaultSeed resolves a -devfaultseed selection: the flag value when
+// nonzero, else $ACYCLICJOIN_DEVFAULTSEED, else 1 (the default seed, matching
+// the -faultseed convention). An environment value that is set must parse as
+// an integer.
+func DevFaultSeed(flag int64) (int64, error) {
+	if flag != 0 {
+		return flag, nil
+	}
+	s := os.Getenv(EnvDevFaultSeed)
+	if s == "" {
+		return 1, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q (want an integer)", EnvDevFaultSeed, s)
 	}
 	return n, nil
 }

@@ -197,10 +197,14 @@ func (d *Disk) chargeReadWindow(f *File, pos int) {
 	d.preCharge(opRead, d.stats.IOs())
 	blocks := d.budgetAllowance(1)
 	if blocks > 0 {
-		d.xfer.Reads++
+		// The device transfer precedes the ledger increment: a typed device
+		// abort thrown from the engine mid-transfer then unwinds with Stats
+		// and the Xfer ledger still in lockstep (neither counted the failed
+		// transfer), so a partial Result keeps the parity invariant.
 		if d.backend != nil {
 			d.deviceRead(f, pos)
 		}
+		d.xfer.Reads++
 	}
 	d.applyRead(blocks)
 }
@@ -219,10 +223,10 @@ func (d *Disk) chargeWriteWindow(f *File, start, end int) {
 	d.preCharge(opWrite, d.stats.IOs())
 	blocks := d.budgetAllowance(1)
 	if blocks > 0 {
-		d.xfer.Writes++
 		if d.backend != nil {
 			d.deviceWrite(f, start, end, true)
 		}
+		d.xfer.Writes++
 	}
 	d.applyWrite(blocks)
 }

@@ -32,14 +32,29 @@ package diskfile
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"acyclicjoin/internal/extmem"
 )
+
+// Device is the raw syscall surface beneath the engine: positioned reads and
+// writes against the backing storage. The default device is the backing
+// os.File itself; OpenWithDevice lets a wrapper interpose (fault injection,
+// tracing) underneath every engine syscall — including the ones issued by the
+// async flusher and prefetch workers, which never cross the Backend seam.
+// Implementations must be safe for concurrent use, like *os.File.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+}
 
 // EnvSyncDevice, when set to anything other than "", "0", or "false", makes
 // Open build the engine in synchronous device mode: every pread/pwrite
@@ -71,10 +86,24 @@ type engine struct {
 	ioCond  *sync.Cond // broadcast on every worker completion and queue change
 	cfg     extmem.Config
 	f       *os.File
+	dev     Device // syscall surface; e.f unless OpenWithDevice interposed
 	path    string // retained file path; "" when unlinked at creation
 	closed  bool
 	closing bool // a Close is in progress (it releases mu while draining)
 	syncDev bool // inline device I/O under mu; no worker goroutines
+
+	// Device-fault recovery state. maxRetries bounds the inline retry loop
+	// per failed syscall; repairable gates torn-frame repair (set only when a
+	// fault device is interposed — with the real device, a verify mismatch is
+	// an engine bug and must surface as ErrCorruption, not be papered over).
+	// dead latches a device declared permanently failed; it is atomic because
+	// the retry helpers run with the mutex released on async paths. rec and
+	// repairs are guarded by mu like the rest of the engine state.
+	maxRetries int
+	repairable bool
+	dead       atomic.Bool
+	rec        extmem.DeviceFaultStats // recovery-side telemetry
+	repairs    map[frameKey]int        // consecutive repairs per frame
 
 	nextPhys  uint64
 	files     map[uint64]*pfile
@@ -213,6 +242,30 @@ func OpenAsync(dir string, cfg extmem.Config) (*Engine, error) {
 	return open(dir, cfg, false)
 }
 
+// OpenWithDevice is Open with a device wrapper interposed beneath every engine
+// syscall: wrap receives the backing os.File and returns the Device the engine
+// will issue its preads and pwrites against. Installing a wrapper also arms
+// the engine's self-healing: verify mismatches are repaired from the
+// authoritative image (counted in DeviceFaultRecovery) instead of surfacing as
+// corruption, because a wrapped device is expected to lie. maxRetries bounds
+// the inline retry loop per failed syscall (0 means
+// extmem.DefaultMaxDeviceRetries). Used by internal/extmem/faultbackend.
+func OpenWithDevice(dir string, cfg extmem.Config, syncDev bool, maxRetries int, wrap func(Device) Device) (*Engine, error) {
+	e, err := open(dir, cfg, syncDev)
+	if err != nil {
+		return nil, err
+	}
+	if wrap != nil {
+		e.dev = wrap(e.f)
+		e.repairable = true
+		e.repairs = map[frameKey]int{}
+	}
+	if maxRetries > 0 {
+		e.maxRetries = maxRetries
+	}
+	return e, nil
+}
+
 // SyncFromEnv reports whether ACYCLICJOIN_SYNC_DEVICE currently forces the
 // synchronous device path (any value other than "", "0", or "false"); it is
 // what Open consults. Exposed so telemetry writers can record which mode an
@@ -238,15 +291,17 @@ func open(dir string, cfg extmem.Config, syncDev bool) (*Engine, error) {
 		return nil, fmt.Errorf("diskfile: create backing file: %w", err)
 	}
 	in := &engine{
-		cfg:      cfg,
-		f:        f,
-		path:     f.Name(),
-		syncDev:  syncDev,
-		nextPhys: 1,
-		files:    map[uint64]*pfile{},
-		lru:      list.New(),
-		dirty:    map[frameKey]*frame{},
-		free:     map[int64][]int64{},
+		cfg:        cfg,
+		f:          f,
+		dev:        f,
+		path:       f.Name(),
+		syncDev:    syncDev,
+		nextPhys:   1,
+		files:      map[uint64]*pfile{},
+		lru:        list.New(),
+		dirty:      map[frameKey]*frame{},
+		free:       map[int64][]int64{},
+		maxRetries: extmem.DefaultMaxDeviceRetries,
 	}
 	in.ioCond = sync.NewCond(&in.mu)
 	if in.capFrames = cfg.M / cfg.B; in.capFrames < 2 {
@@ -323,21 +378,116 @@ func (e *engine) pfileOf(phys uint64) *pfile {
 	return pf
 }
 
-// failAsync records the first asynchronous syscall failure. It is surfaced as
-// a panic at the next charged operation (and as an error from Flush/Close),
-// with the failing transfer identified in the message.
+// failAsync records the first deferred syscall failure (async worker, or a
+// sync-mode flush reached from Flush/Close where a panic has no catcher). It
+// is surfaced as a typed-error panic at the next charged operation — unwound
+// by extmem.CatchAbort into a clean error return — and as an error from
+// Flush/Close, with the failing transfer identified in the message.
 func (e *engine) failAsync(err error) {
 	if e.ioErr == nil {
 		e.ioErr = err
 	}
 }
 
-// checkAsyncErr surfaces a recorded asynchronous failure on the calling
-// charged operation.
+// checkAsyncErr surfaces a recorded deferred failure on the calling charged
+// operation. The panic value is the typed error itself (wrapping ErrDevice,
+// ErrNoSpace, or ErrCorruption), so the abort unwinds through CatchAbort.
 func (e *engine) checkAsyncErr() {
 	if e.ioErr != nil {
-		panic(e.ioErr.Error())
+		panic(e.ioErr)
 	}
+}
+
+// devOutcome is one device syscall's result under the bounded-retry protocol:
+// how many re-issues it took, the simulated backoff billed for them, and the
+// final classified error (nil on success). The helpers below do not touch
+// engine state — async callers run them with the mutex released — so the
+// tallies are folded into the recovery telemetry by foldDev, under the mutex.
+type devOutcome struct {
+	retries int64
+	backoff int64
+	err     error
+}
+
+// devReadAt preads into buf at off, retrying transient failures up to
+// maxRetries times with exponential backoff. ENOSPC is never retried (it
+// cannot apply to reads, but classification is shared with writes); exhausted
+// retries latch the device dead and classify as ErrDevice.
+func (e *engine) devReadAt(buf []byte, off int64) devOutcome {
+	return e.devCall(opRead, off, len(buf), func() error {
+		_, err := e.dev.ReadAt(buf, off)
+		return err
+	})
+}
+
+// devWriteAt pwrites buf at off under the same retry protocol as devReadAt.
+func (e *engine) devWriteAt(buf []byte, off int64) devOutcome {
+	return e.devCall(opWrite, off, len(buf), func() error {
+		_, err := e.dev.WriteAt(buf, off)
+		return err
+	})
+}
+
+const (
+	opRead  = "pread"
+	opWrite = "pwrite"
+)
+
+func (e *engine) devCall(op string, off int64, n int, call func() error) devOutcome {
+	var out devOutcome
+	if e.dead.Load() {
+		out.err = fmt.Errorf("diskfile: %s %d bytes at %d: device declared dead: %w", op, n, off, extmem.ErrDevice)
+		return out
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = call(); err == nil {
+			return out
+		}
+		if isNoSpace(err) {
+			out.err = fmt.Errorf("diskfile: %s %d bytes at %d: %w (%v)", op, n, off, extmem.ErrNoSpace, err)
+			return out
+		}
+		if attempt >= e.maxRetries {
+			break
+		}
+		out.retries++
+		out.backoff += int64(1) << uint(min(attempt, 20))
+	}
+	e.dead.Store(true)
+	out.err = fmt.Errorf("diskfile: %s %d bytes at %d: retries exhausted: %w (%v)", op, n, off, extmem.ErrDevice, err)
+	return out
+}
+
+// isNoSpace recognizes space exhaustion: the real syscall error, or an
+// injected error wrapping the extmem sentinel.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, extmem.ErrNoSpace)
+}
+
+// foldDev folds one syscall's retry outcome into the recovery telemetry.
+// Callers must hold mu.
+func (e *engine) foldDev(op string, out devOutcome) {
+	e.rec.Retries += out.retries
+	if op == opWrite {
+		e.rec.RetriedWrites += out.retries
+	} else {
+		e.rec.RetriedReads += out.retries
+	}
+	e.rec.BackoffIOs += out.backoff
+	if out.err != nil && errors.Is(out.err, extmem.ErrDevice) {
+		e.rec.DeviceDead = 1
+	}
+}
+
+// DeviceFaultRecovery returns the engine's recovery-side fault telemetry:
+// syscall retries, backoff, torn-frame repairs, and the dead-device latch.
+// The injection-side counters live in the fault device wrapper; the
+// faultbackend package merges the two views.
+func (e *engine) DeviceFaultRecovery() extmem.DeviceFaultStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rec
 }
 
 // frameSettled returns the resident frame for (pf, k) with any in-flight load
@@ -423,7 +573,9 @@ func (e *engine) WriteRange(phys uint64, off int, cells []int64, billed bool) {
 		cells = cells[n:]
 	}
 	if len(e.dirty) >= e.batchFrames {
-		e.flushLocked()
+		if err := e.flushLocked(); err != nil {
+			panic(err)
+		}
 	}
 	e.evictLocked()
 }
@@ -478,7 +630,7 @@ func (e *engine) ReadRange(phys uint64, off int, want []int64) {
 			e.stats.Backfills++
 			served = "backfill"
 		}
-		e.verify(phys, k, fr.cells, part)
+		e.verify(fr, part)
 		if len(fr.cells) < len(part) {
 			// The device copy is a stale prefix (the image grew past the
 			// last flushed window, e.g. a writer's buffered tail): extend
@@ -502,20 +654,53 @@ func (e *engine) ReadRange(phys uint64, off int, want []int64) {
 	e.evictLocked()
 }
 
-// verify byte-compares a frame against the authoritative image window.
-func (e *engine) verify(phys uint64, idx int, got, want []int64) {
+// maxFrameRepairs bounds consecutive repairs of one frame: a frame the device
+// keeps tearing faster than the engine can re-flush it is declared corrupt.
+const maxFrameRepairs = 4
+
+// verify byte-compares a frame against the authoritative image window want.
+// With a fault device installed (repairable), a mismatch is repaired: the
+// image window — authoritative by construction — overwrites the frame, which
+// is marked dirty so the next flush re-lands the good bytes on the device.
+// Repairs are bounded per frame; past the bound, or with the real device
+// underneath (where a mismatch means an engine bug, never an injected torn
+// write), the mismatch panics with a typed error wrapping ErrCorruption.
+func (e *engine) verify(fr *frame, want []int64) {
+	got := fr.cells
 	n := len(got)
 	if len(want) < n {
 		n = len(want)
 	}
 	for i := 0; i < n; i++ {
 		if got[i] != want[i] {
-			panic(fmt.Sprintf(
-				"diskfile: corruption: phys %d frame %d cell %d: device has %d, image has %d",
-				phys, idx, i, got[i], want[i]))
+			e.repairFrame(fr, want, i, got[i], want[i])
+			e.stats.VerifiedCells += int64(len(want))
+			return
 		}
 	}
+	if e.repairable && len(e.repairs) > 0 {
+		delete(e.repairs, fr.key) // clean verify resets the consecutive count
+	}
 	e.stats.VerifiedCells += int64(n)
+}
+
+// repairFrame handles one verify mismatch at cell i; see verify.
+func (e *engine) repairFrame(fr *frame, want []int64, i int, got, exp int64) {
+	err := fmt.Errorf("diskfile: %w: phys %d frame %d cell %d: device has %d, image has %d",
+		extmem.ErrCorruption, fr.key.phys, fr.key.idx, i, got, exp)
+	if !e.repairable {
+		panic(err)
+	}
+	if e.repairs[fr.key]++; e.repairs[fr.key] > maxFrameRepairs {
+		panic(fmt.Errorf("%w (repaired %d times, giving up)", err, maxFrameRepairs))
+	}
+	fr.cells = append(fr.cells[:0], want...)
+	if !fr.dirty {
+		fr.dirty = true
+		e.dirty[fr.key] = fr
+	}
+	fr.prefetched = false
+	e.rec.Repairs++
 }
 
 // Truncate implements extmem.Backend: drop every cached frame of phys and
@@ -571,7 +756,7 @@ func (e *engine) Flush() error {
 	if e.closed {
 		return nil
 	}
-	e.flushLocked()
+	e.flushLocked() // a sync-mode failure is recorded in ioErr
 	e.drainWritebackLocked()
 	return e.ioErr
 }
@@ -589,7 +774,7 @@ func (e *engine) Close() error {
 		return nil
 	}
 	e.closing = true
-	e.flushLocked()
+	e.flushLocked() // a sync-mode failure is recorded in ioErr
 	e.drainWritebackLocked()
 	for len(e.pfQueue) > 0 || e.loading > 0 {
 		e.ioCond.Wait()
@@ -683,7 +868,9 @@ func (e *engine) evictLocked() {
 			continue
 		}
 		if victim.dirty {
-			e.flushLocked()
+			if err := e.flushLocked(); err != nil {
+				panic(err)
+			}
 			continue
 		}
 		e.dropFrame(victim)
@@ -739,12 +926,12 @@ func (e *engine) loadGroup(frs []*frame, off int64, cells []int, demand bool) {
 	nbytes := fb*(len(frs)-1) + cells[len(frs)-1]*8
 	buf := getBuf(nbytes)
 	e.mu.Unlock()
-	_, err := e.f.ReadAt(buf, off)
+	out := e.devReadAt(buf, off)
 	e.mu.Lock()
-	if err != nil {
+	e.foldDev(opRead, out)
+	if out.err != nil {
 		k := frs[0].key
-		e.failAsync(fmt.Errorf("diskfile: pread %d bytes at %d (phys %d frame %d, %d frames): %v",
-			nbytes, off, k.phys, k.idx, len(frs), err))
+		e.failAsync(fmt.Errorf("%w (phys %d frame %d, %d frames)", out.err, k.phys, k.idx, len(frs)))
 	} else {
 		for i, fr := range frs {
 			n := cells[i]
@@ -869,14 +1056,19 @@ func (e *engine) prefetchWorker() {
 // mutex) for the flusher, then re-check the dirty set, since formation plus
 // enqueue must be atomic under the mutex to keep same-frame segments in FIFO
 // order.
-func (e *engine) flushLocked() {
+//
+// A sync-mode device failure is returned (typed, and recorded via failAsync —
+// exactly the async semantics): charged callers panic with it so the abort
+// unwinds through CatchAbort, while Flush and Close — where a panic has no
+// catcher — return it as an error.
+func (e *engine) flushLocked() error {
 	if !e.syncDev {
 		for len(e.wbQueue) >= maxQueuedSegs {
 			e.ioCond.Wait()
 		}
 	}
 	if len(e.dirty) == 0 {
-		return
+		return nil
 	}
 	e.stats.Flushes++
 	frames := make([]*frame, 0, len(e.dirty))
@@ -926,10 +1118,13 @@ func (e *engine) flushLocked() {
 		e.stats.WriteCalls++
 		e.stats.BlockWrites += int64(len(seg.keys))
 		if e.syncDev {
-			if _, err := e.f.WriteAt(seg.buf, seg.off); err != nil {
-				panic(fmt.Sprintf("diskfile: pwrite %d bytes at %d: %v", len(seg.buf), seg.off, err))
-			}
+			out := e.devWriteAt(seg.buf, seg.off)
+			e.foldDev(opWrite, out)
 			putBuf(seg.buf)
+			if out.err != nil {
+				e.failAsync(out.err)
+				return out.err
+			}
 			continue
 		}
 		for _, k := range seg.keys {
@@ -944,6 +1139,7 @@ func (e *engine) flushLocked() {
 	if !e.syncDev {
 		e.ioCond.Broadcast()
 	}
+	return nil
 }
 
 // writebackWorker is the flusher: it claims the whole queued backlog in FIFO
@@ -968,18 +1164,26 @@ func (e *engine) writebackWorker() {
 		e.wbActive = true
 		e.mu.Unlock()
 		var firstErr error
+		var outs devOutcome
 		for _, seg := range batch {
 			if firstErr == nil {
-				if _, err := e.f.WriteAt(seg.buf, seg.off); err != nil {
+				if out := e.devWriteAt(seg.buf, seg.off); out.err != nil {
 					k := seg.keys[0]
-					firstErr = fmt.Errorf("diskfile: pwrite %d bytes at %d (phys %d frame %d, %d frames): %v",
-						len(seg.buf), seg.off, k.phys, k.idx, len(seg.keys), err)
+					firstErr = fmt.Errorf("%w (phys %d frame %d, %d frames)",
+						out.err, k.phys, k.idx, len(seg.keys))
+					outs.retries += out.retries
+					outs.backoff += out.backoff
+					outs.err = out.err
+				} else {
+					outs.retries += out.retries
+					outs.backoff += out.backoff
 				}
 			}
 			putBuf(seg.buf)
 		}
 		e.mu.Lock()
 		e.wbActive = false
+		e.foldDev(opWrite, outs)
 		if firstErr != nil {
 			e.failAsync(firstErr)
 		}
@@ -1046,8 +1250,11 @@ func (e *engine) preadGroup(frs []*frame, off int64, cells []int) {
 		e.scratch = make([]byte, nbytes)
 	}
 	buf := e.scratch[:nbytes]
-	if _, err := e.f.ReadAt(buf, off); err != nil {
-		panic(fmt.Sprintf("diskfile: pread %d bytes at %d: %v", nbytes, off, err))
+	out := e.devReadAt(buf, off)
+	e.foldDev(opRead, out)
+	if out.err != nil {
+		e.failAsync(out.err)
+		panic(out.err)
 	}
 	for i, fr := range frs {
 		n := cells[i]
@@ -1070,8 +1277,11 @@ func (e *engine) pread(off int64, cells int, dst []int64) []int64 {
 		e.scratch = make([]byte, nbytes)
 	}
 	buf := e.scratch[:nbytes]
-	if _, err := e.f.ReadAt(buf, off); err != nil {
-		panic(fmt.Sprintf("diskfile: pread %d bytes at %d: %v", nbytes, off, err))
+	out := e.devReadAt(buf, off)
+	e.foldDev(opRead, out)
+	if out.err != nil {
+		e.failAsync(out.err)
+		panic(out.err)
 	}
 	if cap(dst) < cells {
 		dst = make([]int64, cells)

@@ -169,6 +169,11 @@ type Disk struct {
 	// XferStats for the invariant tying the two together. Absorb folds it,
 	// ResetStats zeroes it, fault rollback restores it.
 	xfer XferStats
+	// recovery is the fault telemetry accumulated on behalf of disks that
+	// were never absorbed: a shard server discarded after a permanent fault
+	// bills its charges here (AddFaultStats) before a restart re-runs them,
+	// and RecoveryScope bills re-derivation I/O here. Folded into FaultStats.
+	recovery FaultStats
 }
 
 // DefaultPhase is the label for I/Os charged outside any WithPhase scope.
@@ -639,6 +644,7 @@ func (d *Disk) Absorb(child *Disk) {
 	if child.faults != nil && d.faults != nil {
 		d.faults.stats = d.faults.stats.Add(child.faults.stats)
 	}
+	d.recovery = d.recovery.Add(child.recovery)
 	if child.isChild && !child.retired && child.reg == d.reg {
 		child.retired = true
 		d.reg.Add(-1)

@@ -140,6 +140,13 @@ type FaultStats struct {
 	// BackoffIOs totals the simulated exponential-backoff cost charged per
 	// boundary retry (2^(attempt-1) block-times per retry, capped).
 	BackoffIOs int64
+	// ServerRestarts counts shard servers replayed on a fresh child disk
+	// after a permanent device failure (see internal/shard).
+	ServerRestarts int64
+	// Device is the syscall-layer fault telemetry of the storage engine (see
+	// DeviceFaultStats). Filled at read time from the backend by FaultStats —
+	// the counters are engine-global, so they are never stored per-disk.
+	Device DeviceFaultStats
 }
 
 // Any reports whether any fault activity was recorded.
@@ -155,12 +162,21 @@ func (s FaultStats) Add(o FaultStats) FaultStats {
 	s.RetryReads += o.RetryReads
 	s.RetryWrites += o.RetryWrites
 	s.BackoffIOs += o.BackoffIOs
+	s.ServerRestarts += o.ServerRestarts
+	s.Device = s.Device.Add(o.Device)
 	return s
 }
 
 func (s FaultStats) String() string {
-	return fmt.Sprintf("transient=%d permanent=%d retries=%d boundaryRetries=%d escalated=%d retryReads=%d retryWrites=%d backoffIOs=%d",
+	out := fmt.Sprintf("transient=%d permanent=%d retries=%d boundaryRetries=%d escalated=%d retryReads=%d retryWrites=%d backoffIOs=%d",
 		s.Transient, s.Permanent, s.Retries, s.BoundaryRetries, s.Escalated, s.RetryReads, s.RetryWrites, s.BackoffIOs)
+	if s.ServerRestarts > 0 {
+		out += fmt.Sprintf(" serverRestarts=%d", s.ServerRestarts)
+	}
+	if s.Device.Any() {
+		out += " device{" + s.Device.String() + "}"
+	}
+	return out
 }
 
 // faultInjector holds one disk's fault-injection state. Like the rest of the
@@ -196,6 +212,7 @@ func newFaultInjector(p FaultPlan) *faultInjector {
 // Child disks created afterwards derive fresh injectors from the same plan.
 func (d *Disk) SetFaultPlan(p *FaultPlan) {
 	d.cancelErr.Store(nil)
+	d.recovery = FaultStats{}
 	if p == nil || !p.Enabled() {
 		d.faults = nil
 		return
@@ -203,13 +220,18 @@ func (d *Disk) SetFaultPlan(p *FaultPlan) {
 	d.faults = newFaultInjector(*p)
 }
 
-// FaultStats returns the fault/retry telemetry accumulated on d (children
-// fold theirs in at Absorb). Zero when no plan is armed.
+// FaultStats returns the fault/retry telemetry accumulated on d: the armed
+// injector's counters (children fold theirs in at Absorb), the recovery side
+// channel (work billed on behalf of discarded disks — shard-server restarts),
+// and, on a root disk with a fault-injecting backend, the engine-global
+// device-fault telemetry.
 func (d *Disk) FaultStats() FaultStats {
-	if d.faults == nil {
-		return FaultStats{}
+	s := d.recovery
+	if d.faults != nil {
+		s = s.Add(d.faults.stats)
 	}
-	return d.faults.stats
+	s.Device = s.Device.Add(d.DeviceFaultStats())
+	return s
 }
 
 // faultHash is a splitmix64-style mix of (seed, index) onto 64 bits; the top
@@ -540,7 +562,7 @@ func (d *Disk) CatchAbort(fn func() error) (pruned bool, err error) {
 		switch {
 		case errors.Is(e, ErrBudgetExceeded):
 			pruned, err = true, nil
-		case errors.Is(e, ErrCancelled), errors.As(e, &fe):
+		case errors.Is(e, ErrCancelled), errors.As(e, &fe), IsDeviceFailure(e):
 			pruned, err = false, e
 		default:
 			panic(r)

@@ -5,6 +5,7 @@ import (
 
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/extmem/diskfile"
+	"acyclicjoin/internal/extmem/faultbackend"
 )
 
 // newBackendDisk builds one experiment machine on the storage engine selected
@@ -24,6 +25,14 @@ func newBackendDisk(p Params, cfg extmem.Config) *extmem.Disk {
 	case "", "sim":
 		return extmem.NewDisk(cfg)
 	case "file":
+		if p.DevFaultRate > 0 {
+			plan := extmem.DeviceFaultPlan{Seed: p.DevFaultSeed, Rate: p.DevFaultRate}
+			b, err := faultbackend.Open(p.DataDir, cfg, p.SyncDevice || diskfile.SyncFromEnv(), plan)
+			if err != nil {
+				panic(fmt.Sprintf("harness: open file backend: %v", err))
+			}
+			return extmem.NewDiskWithBackend(cfg, b)
+		}
 		open := diskfile.Open // async unless ACYCLICJOIN_SYNC_DEVICE is set
 		if p.SyncDevice {
 			open = diskfile.OpenSync

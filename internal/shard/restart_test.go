@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"acyclicjoin/internal/core"
+	"acyclicjoin/internal/extmem"
+	"acyclicjoin/internal/hypergraph"
+)
+
+// killChildrenPlan is the deterministic server-killer: the injector's phase
+// filter is checked before the permanent threshold, and PermanentAt is a
+// threshold (idx+1 >= PermanentAt), so this plan fires at each disk's FIRST
+// charge under phase "sort". Every server's local core.Run sorts its
+// fragment; the coordinator's scans (partition statistics, distribution,
+// replay) are unphased — so the plan kills every working server and never
+// touches the parent.
+func killChildrenPlan() *extmem.FaultPlan {
+	return &extmem.FaultPlan{PermanentAt: 1, Phase: "sort"}
+}
+
+// Every server dies at its first sort charge on an injected permanent fault;
+// the restart round replaces each on a fresh child replaying the identical
+// fragment. The merged multiset, the emitted row count, and the main charged
+// stats must all be bit-identical to the same run without faults, with the
+// dead servers' charges billed to the recovery side channel.
+func TestServerRestartRecovers(t *testing.T) {
+	g := hypergraph.Line(3)
+	rng := rand.New(rand.NewSource(77))
+	rows := uniformRows(g, rng, 40, 4)
+	p := 3
+	opts := Options{Shards: p, Core: core.Options{Strategy: core.StrategyFirst}}
+
+	before := runtime.NumGoroutine()
+	want, wantRes := sharded(t, g, rows, opts)
+
+	d := extmem.NewDisk(testCfg)
+	in := buildInstance(d, g, rows)
+	d.SetFaultPlan(killChildrenPlan())
+	var got fingerprint
+	res, err := Run(g, in, got.add, opts)
+	if err != nil {
+		t.Fatalf("restarted run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("restarted run diverged: %d rows (fp %x), want %d rows (fp %x)",
+			got.rows, got.fp, want.rows, want.fp)
+	}
+	fs := d.FaultStats()
+	if fs.ServerRestarts < 1 || fs.ServerRestarts > int64(p) {
+		t.Fatalf("ServerRestarts = %d, want in [1, %d]", fs.ServerRestarts, p)
+	}
+	if fs.Permanent != fs.ServerRestarts {
+		// Each restart folds exactly one dead child — whose injector fired
+		// exactly one permanent fault — into the recovery side channel; a
+		// surplus would mean the parent's own injector fired too.
+		t.Fatalf("Permanent = %d, want one per restart (%d)", fs.Permanent, fs.ServerRestarts)
+	}
+	if fs.RetryReads+fs.RetryWrites == 0 {
+		t.Fatal("dead servers' charges were not billed to the recovery side channel")
+	}
+	// The restart replays the dead server's fragment onto a fresh child that
+	// absorbs normally, so the run's main charged stats match the fault-free
+	// run exactly — all recovery cost lives in the side channel.
+	if res.ExecStats != wantRes.ExecStats || res.TotalStats != wantRes.TotalStats {
+		t.Errorf("charged stats diverged under restart:\n exec %+v\n want %+v\n total %+v\n want %+v",
+			res.ExecStats, wantRes.ExecStats, res.TotalStats, wantRes.TotalStats)
+	}
+	if res.Emitted != wantRes.Emitted {
+		t.Errorf("Emitted = %d, want %d", res.Emitted, wantRes.Emitted)
+	}
+	checkLeaks(t, d, before)
+}
+
+// Restarting disabled (MaxRestarts < 0): the permanent fault surfaces as the
+// typed *extmem.FaultError the dead server returned, children all discarded.
+func TestServerRestartDisabled(t *testing.T) {
+	g := hypergraph.Line(3)
+	rng := rand.New(rand.NewSource(77))
+	rows := uniformRows(g, rng, 40, 4)
+	opts := Options{Shards: 3, Core: core.Options{Strategy: core.StrategyFirst},
+		MaxRestarts: -1}
+
+	before := runtime.NumGoroutine()
+	d := extmem.NewDisk(testCfg)
+	in := buildInstance(d, g, rows)
+	d.SetFaultPlan(killChildrenPlan())
+	var got fingerprint
+	_, err := Run(g, in, got.add, opts)
+	var fe *extmem.FaultError
+	if !errors.As(err, &fe) || fe.Kind != extmem.FaultPermanent {
+		t.Fatalf("err = %v, want a permanent *extmem.FaultError", err)
+	}
+	if n := d.FaultStats().ServerRestarts; n != 0 {
+		t.Fatalf("ServerRestarts = %d with restarting disabled", n)
+	}
+	checkLeaks(t, d, before)
+}
+
+// A restart budget smaller than needed: each dead server is retried on a
+// fresh, disarmed child, so a single restart per server suffices and the run
+// still succeeds — the budget bounds attempts, not servers.
+func TestServerRestartBudgetOfOne(t *testing.T) {
+	g := hypergraph.Line(2)
+	rng := rand.New(rand.NewSource(5))
+	rows := uniformRows(g, rng, 60, 6)
+	opts := Options{Shards: 4, Core: core.Options{Strategy: core.StrategyFirst},
+		MaxRestarts: 1}
+
+	want, _ := sharded(t, g, rows, opts)
+
+	before := runtime.NumGoroutine()
+	d := extmem.NewDisk(testCfg)
+	in := buildInstance(d, g, rows)
+	d.SetFaultPlan(killChildrenPlan())
+	var got fingerprint
+	if _, err := Run(g, in, got.add, opts); err != nil {
+		t.Fatalf("restarted run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("restarted run diverged: %d rows (fp %x), want %d rows (fp %x)",
+			got.rows, got.fp, want.rows, want.fp)
+	}
+	checkLeaks(t, d, before)
+}
+
+// Cancellation is never restarted: the latch is shared machine state, so a
+// retry cannot help. A CancelAt plan aborts the run with the cancellation
+// error and zero restarts.
+func TestServerRestartNeverOnCancel(t *testing.T) {
+	g := hypergraph.Line(3)
+	rng := rand.New(rand.NewSource(77))
+	rows := uniformRows(g, rng, 40, 4)
+	opts := Options{Shards: 3, Core: core.Options{Strategy: core.StrategyFirst}}
+
+	before := runtime.NumGoroutine()
+	d := extmem.NewDisk(testCfg)
+	in := buildInstance(d, g, rows)
+	d.SetFaultPlan(&extmem.FaultPlan{CancelAt: 1})
+	var got fingerprint
+	_, err := Run(g, in, got.add, opts)
+	if !errors.Is(err, extmem.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if n := d.FaultStats().ServerRestarts; n != 0 {
+		t.Fatalf("ServerRestarts = %d after cancellation", n)
+	}
+	checkLeaks(t, d, before)
+}
+
+// restartable's gate, unit-checked: permanent model faults and device
+// corruption restart; transient faults (absorbed upstream anyway),
+// cancellation, ENOSPC, and dead-device errors never do.
+func TestRestartableGate(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"permanent", &extmem.FaultError{Kind: extmem.FaultPermanent}, true},
+		{"wrapped-permanent", wrapErr{&extmem.FaultError{Kind: extmem.FaultPermanent}}, true},
+		{"corruption", extmem.ErrCorruption, true},
+		{"transient", &extmem.FaultError{Kind: extmem.FaultTransient}, false},
+		{"cancel", extmem.ErrCancelled, false},
+		{"nospace", extmem.ErrNoSpace, false},
+		{"device", extmem.ErrDevice, false},
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+	}
+	for _, c := range cases {
+		if got := restartable(c.err); got != c.want {
+			t.Errorf("restartable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+type wrapErr struct{ err error }
+
+func (w wrapErr) Error() string { return "server: " + w.err.Error() }
+func (w wrapErr) Unwrap() error { return w.err }

@@ -57,6 +57,7 @@ package shard
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -106,6 +107,20 @@ type Options struct {
 	// its total frequency across the hashed relations exceeds
 	// HeavyFactor·N_hashed/p. 0 means 1.0.
 	HeavyFactor float64
+	// MaxRestarts bounds how many times each dead server may be replaced
+	// before its failure is returned to the caller. A server dies restartably
+	// when its local run aborts on a permanent injected model fault or on
+	// device corruption; the coordinator then discards the dead child disk,
+	// bills its charges and fault counters to the parent's recovery side
+	// channel, and replays the dead server's exact fragment — the
+	// deterministic assignment walk re-run for that one server — onto a
+	// fresh child, which re-executes with fault injection disarmed. The
+	// merged row multiset is bit-identical to the unsharded run;
+	// cancellation, budget, ENOSPC, and dead-device aborts are never
+	// restarted (the failed resource is shared, so a retry cannot help).
+	// 0 means the default of 2 restarts per server; negative disables
+	// restarting.
+	MaxRestarts int
 }
 
 // RoundLoad is one communication/compute round's per-server load.
@@ -305,6 +320,47 @@ func Run(g *hypergraph.Graph, in relation.Instance, emit core.Emit, opts Options
 		}(s)
 	}
 	wg.Wait()
+
+	// Restart round: replace servers that died restartably (permanent model
+	// faults, device corruption) with fresh children running the identical
+	// fragment. Serial and after the barrier, so the parent is quiescent for
+	// NewChild and the re-distribution; the replay scans are billed to the
+	// parent's recovery side channel, keeping the main Stats those of a
+	// fault-free distribution.
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 2
+	}
+	for s := 0; maxRestarts > 0 && s < p; s++ {
+		for attempt := 0; outs[s].err != nil && restartable(outs[s].err) && attempt < maxRestarts; attempt++ {
+			dead := children[s]
+			fs := dead.FaultStats()
+			st := dead.Stats()
+			fs.RetryReads += st.Reads
+			fs.RetryWrites += st.Writes
+			parent.AddFaultStats(fs)
+			parent.AddServerRestart()
+			dead.Discard()
+			fresh := parent.NewChild()
+			fresh.DisarmFaults()
+			children[s] = fresh
+			var inst relation.Instance
+			if rerr := parent.RecoveryScope(func() error {
+				_, cerr := parent.CatchAbort(func() error {
+					inst = distributeOne(g, in, fresh, plan, s, p)
+					return nil
+				})
+				return cerr
+			}); rerr != nil {
+				outs[s] = shardOutcome{err: rerr}
+				break
+			}
+			insts[s] = inst
+			distStats[s] = fresh.Stats()
+			outs[s] = shardOutcome{}
+			runServer(g, inst, copts, &outs[s])
+		}
+	}
 
 	// Deterministic fold-back in server order; children are quiescent after
 	// the barrier, so even an aborted run absorbs every child (its partial
@@ -567,6 +623,64 @@ func parentDisk(g *hypergraph.Graph, in relation.Instance) *extmem.Disk {
 	return nil
 }
 
+// assignKind classifies why a tuple landed on a server in the assignment walk.
+type assignKind int
+
+const (
+	assignAnchor assignKind = iota
+	assignBroadcast
+	assignHashed
+	assignSplit          // heavy value, dealt round-robin from its split relation
+	assignHeavyBroadcast // heavy value, replicated from a co-partner relation
+)
+
+// forEachAssignment is the deterministic tuple-to-server assignment walk both
+// distribution paths share: relations in sorted-ID order, tuples in scan
+// order, with the anchor and heavy-hitter round-robin counters advancing over
+// EVERY tuple. Because the counters never depend on who is listening, a
+// replay that keeps only one server's share (distributeOne, on the restart
+// path) reproduces that server's fragment bit-identically to the original
+// full distribution. begin fires once per relation before its tuples; visit
+// fires once per (tuple, receiving server).
+func forEachAssignment(g *hypergraph.Graph, in relation.Instance, plan *partitionPlan, p int,
+	begin func(id int), visit func(id, s int, t tuple.Tuple, kind assignKind)) {
+	rrAnchor := 0
+	rrHeavy := map[int64]int{}
+	for _, id := range relation.SortedEdgeIDs(g) {
+		r := in[id]
+		begin(id)
+		sendAll := func(t tuple.Tuple, kind assignKind) {
+			for s := 0; s < p; s++ {
+				visit(id, s, t, kind)
+			}
+		}
+		switch {
+		case plan.anchor == id:
+			r.Scan(func(t tuple.Tuple) {
+				visit(id, rrAnchor%p, t, assignAnchor)
+				rrAnchor++
+			})
+		case !plan.hashed[id]:
+			r.Scan(func(t tuple.Tuple) { sendAll(t, assignBroadcast) })
+		default:
+			col := r.Col(plan.attr)
+			r.Scan(func(t tuple.Tuple) {
+				v := t[col]
+				if split, heavy := plan.splitEdge[v]; heavy {
+					if split == id {
+						visit(id, rrHeavy[v]%p, t, assignSplit)
+						rrHeavy[v]++
+					} else {
+						sendAll(t, assignHeavyBroadcast)
+					}
+					return
+				}
+				visit(id, hashValue(v, p), t, assignHashed)
+			})
+		}
+	}
+}
+
 // distribute reads every relation once on the parent (the communication
 // round's send side) and appends each tuple to the receiving servers'
 // builders (charged to each child: the receive side IS the load). Returns
@@ -585,64 +699,96 @@ func distribute(g *hypergraph.Graph, in relation.Instance, children []*extmem.Di
 	load.InputTuples = plan.inputTuples
 	load.HeavyValues = len(plan.splitEdge)
 
-	rrAnchor := 0
-	rrHeavy := map[int64]int{}
-	for _, id := range relation.SortedEdgeIDs(g) {
-		r := in[id]
-		builders := make([]*relation.Builder, p)
-		for s := range builders {
-			builders[s] = relation.NewBuilder(children[s], r.Schema())
-		}
-		sendAll := func(t tuple.Tuple) {
+	var builders []*relation.Builder
+	prev := -1
+	finish := func() {
+		if prev >= 0 {
 			for s := range builders {
-				builders[s].Add(t)
-				dist.PerShard[s]++
+				insts[s][prev] = builders[s].Finish()
 			}
 		}
-		sendTo := func(s int, t tuple.Tuple) {
+	}
+	forEachAssignment(g, in, plan, p,
+		func(id int) {
+			finish()
+			prev = id
+			builders = make([]*relation.Builder, p)
+			for s := range builders {
+				builders[s] = relation.NewBuilder(children[s], in[id].Schema())
+			}
+			switch {
+			case plan.anchor == id:
+				load.HashedRelations++
+			case !plan.hashed[id]:
+				load.BroadcastRelations++
+				load.BroadcastTuples += int64(in[id].Len())
+			default:
+				load.HashedRelations++
+			}
+		},
+		func(id, s int, t tuple.Tuple, kind assignKind) {
 			builders[s].Add(t)
 			dist.PerShard[s]++
-		}
-		switch {
-		case plan.anchor == id:
-			load.HashedRelations++
-			r.Scan(func(t tuple.Tuple) {
-				sendTo(rrAnchor%p, t)
-				rrAnchor++
-			})
-		case !plan.hashed[id]:
-			load.BroadcastRelations++
-			load.BroadcastTuples += int64(r.Len())
-			r.Scan(sendAll)
-		default:
-			load.HashedRelations++
-			col := r.Col(plan.attr)
-			r.Scan(func(t tuple.Tuple) {
-				v := t[col]
-				if split, heavy := plan.splitEdge[v]; heavy {
-					if split == id {
-						sendTo(rrHeavy[v]%p, t)
-						rrHeavy[v]++
-						load.SplitTuples++
-					} else {
-						sendAll(t)
-						load.HeavyBroadcastTuples++
-					}
-					return
+			switch kind {
+			case assignSplit:
+				load.SplitTuples++
+			case assignHeavyBroadcast:
+				if s == 0 { // once per tuple, not once per replica
+					load.HeavyBroadcastTuples++
 				}
-				sendTo(hashValue(v, p), t)
-			})
-		}
-		for s := range builders {
-			insts[s][id] = builders[s].Finish()
-		}
-	}
+			}
+		})
+	finish()
 	dist.Bound = ceilDiv(load.InputTuples, int64(p))
 	if load.InputTuples > 0 {
 		load.Replication = float64(dist.Total()) / float64(load.InputTuples)
 	}
 	load.Rounds = append(load.Rounds, dist)
 	return insts
+}
+
+// distributeOne replays the assignment walk keeping only server's share,
+// rebuilding the exact fragment that server received in the original
+// distribution — the restart path's re-send. The parent-side scans it
+// charges run under the caller's RecoveryScope; the child-side receive
+// charges land on the fresh child, exactly as the original receive did.
+func distributeOne(g *hypergraph.Graph, in relation.Instance, child *extmem.Disk,
+	plan *partitionPlan, server, p int) relation.Instance {
+	inst := relation.Instance{}
+	var b *relation.Builder
+	prev := -1
+	finish := func() {
+		if prev >= 0 {
+			inst[prev] = b.Finish()
+		}
+	}
+	forEachAssignment(g, in, plan, p,
+		func(id int) {
+			finish()
+			prev = id
+			b = relation.NewBuilder(child, in[id].Schema())
+		},
+		func(id, s int, t tuple.Tuple, _ assignKind) {
+			if s == server {
+				b.Add(t)
+			}
+		})
+	finish()
+	return inst
+}
+
+// restartable reports whether a server failure is worth replaying on a fresh
+// child: permanent injected model faults (injection is disarmed on the
+// replacement) and device corruption (the corrupt frames die with the dead
+// child's fragment — the replay writes fresh ones). Cancellation, budget
+// exhaustion, ENOSPC, and a declared-dead device are shared-resource
+// failures: a fresh child meets the same wall, so they surface immediately.
+func restartable(err error) bool {
+	var fe *extmem.FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind == extmem.FaultPermanent
+	}
+	return errors.Is(err, extmem.ErrCorruption)
 }
 
 // hashValue owns value v to a server: FNV-1a over the value's 8 bytes. The

@@ -2,12 +2,14 @@ package acyclicjoin
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"acyclicjoin/internal/cli"
 	"acyclicjoin/internal/core"
 	"acyclicjoin/internal/extmem"
 	"acyclicjoin/internal/extmem/diskfile"
+	"acyclicjoin/internal/extmem/faultbackend"
 	"acyclicjoin/internal/opcache"
 	"acyclicjoin/internal/reducer"
 	"acyclicjoin/internal/relation"
@@ -169,6 +171,24 @@ type Options struct {
 	// with an error wrapping ErrFault. nil — the default — leaves the fault
 	// layer disabled; the charge path then costs one nil check.
 	Faults *FaultPlan
+	// DeviceFaults attaches a deterministic, seeded schedule of syscall-level
+	// faults to the file backend's storage engine (see
+	// internal/extmem/faultbackend): transient EIO on preads/pwrites — on the
+	// charged path and on the async flusher/prefetch workers alike — torn
+	// writes that corrupt a device frame, ENOSPC on arena growth, and a
+	// dead-device trigger. The engine recovers below the Backend seam
+	// (bounded retry with backoff; torn frames repaired from the
+	// authoritative in-memory image), so rows, Count, Stats, the plan, and
+	// the shard load table stay bit-identical to the fault-free run; all
+	// injection and recovery work is billed to Result.Faults.Device instead.
+	// Failures the engine cannot absorb abort with a typed error (ErrDevice,
+	// ErrNoSpace, ErrCorruption) and a partial Result — or, with
+	// DeviceFaultPlan.Degrade set, a dead device transparently re-runs the
+	// query on the counting simulator (Result.Degraded reports it). nil falls
+	// back to the ACYCLICJOIN_DEVFAULTRATE / ACYCLICJOIN_DEVFAULTSEED
+	// environment variables; a plan (or env rate) on the sim backend is a
+	// documented no-op — there are no syscalls to fault.
+	DeviceFaults *DeviceFaultPlan
 }
 
 // MemoMode switches the charge-replay operator memo; the zero value is on.
@@ -295,6 +315,13 @@ type Result struct {
 	// Device is the file engine's syscall-level telemetry (cache hits,
 	// coalesced writes, prefetches); all zero on the sim backend.
 	Device DeviceStats
+	// Degraded reports that the file backend's device died mid-run and the
+	// results came from the degraded-mode fallback: a clean re-run on the
+	// counting simulator (Options.DeviceFaults.Degrade). Backend then names
+	// the engine that produced the results ("sim"), and
+	// Faults.Device carries the dead device's fault telemetry with
+	// Degraded set.
+	Degraded bool
 }
 
 // MemoStats counts memo hits, misses, evictions, and bytes served by replay.
@@ -364,12 +391,75 @@ func RunContext(ctx context.Context, q *Query, inst *Instance, opts Options, emi
 	if shards < 1 || shards > shard.MaxShards {
 		return nil, fmt.Errorf("acyclicjoin: shard count %d out of range [1, %d]", shards, shard.MaxShards)
 	}
+	if opts.DeviceFaults == nil {
+		rate, rerr := cli.DevFaultRate(0)
+		if rerr != nil {
+			return nil, fmt.Errorf("acyclicjoin: %w", rerr)
+		}
+		seed, serr := cli.DevFaultSeed(0)
+		if serr != nil {
+			return nil, fmt.Errorf("acyclicjoin: %w", serr)
+		}
+		if rate > 0 {
+			opts.DeviceFaults = &DeviceFaultPlan{Seed: seed, Rate: rate}
+		}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if ctx.Err() != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
 	}
+	if p := opts.DeviceFaults; p != nil && p.Degrade && p.Enabled() && opts.Backend == "file" {
+		return runDegradable(ctx, q, inst, opts, shards, cfg, emit)
+	}
+	return runOnce(ctx, q, inst, opts, shards, cfg, emit)
+}
+
+// runDegradable runs the query on the (fault-injected) file backend and, when
+// the device is declared dead — errors.Is(err, ErrDevice), and only that
+// class: cancellation, ENOSPC, corruption, and injected model faults keep
+// their typed aborts — transparently re-runs it on the counting simulator.
+// First-attempt emissions are buffered so the caller sees the rows of exactly
+// one successful run, never a partial prefix followed by a fallback replay.
+func runDegradable(ctx context.Context, q *Query, inst *Instance, opts Options, shards int, cfg extmem.Config, emit func(Row)) (*Result, error) {
+	var buf []Row
+	bufEmit := emit
+	if emit != nil {
+		bufEmit = func(r Row) { buf = append(buf, r) }
+	}
+	res, err := runOnce(ctx, q, inst, opts, shards, cfg, bufEmit)
+	if err == nil {
+		for _, r := range buf {
+			emit(r)
+		}
+		return res, nil
+	}
+	if !errors.Is(err, ErrDevice) {
+		return res, err
+	}
+	fopts := opts
+	fopts.Backend = "sim"
+	fopts.DataDir = ""
+	fopts.SyncDevice = false
+	fopts.DeviceFaults = nil
+	res2, err2 := runOnce(ctx, q, inst, fopts, shards, cfg, emit)
+	if err2 != nil {
+		return res2, err2
+	}
+	res2.Degraded = true
+	var dev DeviceFaultStats
+	if res != nil {
+		dev = res.Faults.Device
+	}
+	dev.Degraded = 1
+	res2.Faults.Device = dev
+	return res2, nil
+}
+
+// runOnce executes one attempt of the query on one backend disk; RunContext
+// owns validation and the degraded-mode retry policy above it.
+func runOnce(ctx context.Context, q *Query, inst *Instance, opts Options, shards int, cfg extmem.Config, emit func(Row)) (res *Result, err error) {
 	disk, closeBackend, err := newBackendDisk(cfg, opts)
 	if err != nil {
 		return nil, err
@@ -530,6 +620,13 @@ func newBackendDisk(cfg extmem.Config, opts Options) (*extmem.Disk, func(), erro
 	case "sim":
 		return extmem.NewDisk(cfg), func() {}, nil
 	case "file":
+		if p := opts.DeviceFaults; p != nil && p.Enabled() {
+			b, err := faultbackend.Open(opts.DataDir, cfg, opts.SyncDevice || diskfile.SyncFromEnv(), *p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("acyclicjoin: open file backend: %w", err)
+			}
+			return extmem.NewDiskWithBackend(cfg, b), func() { b.Close() }, nil
+		}
 		open := diskfile.Open // async unless ACYCLICJOIN_SYNC_DEVICE is set
 		if opts.SyncDevice {
 			open = diskfile.OpenSync
